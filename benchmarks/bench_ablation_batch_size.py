@@ -1,0 +1,41 @@
+"""Ablation — the microtask batch size η (§5.5).
+
+The paper's batch model trades latency against responsiveness: publishing
+η microtasks at a time turns a w-sample comparison into ⌈w/η⌉ rounds.
+Because this library evaluates the stopping rule after every sample within
+a batch, monetary cost is invariant to η while latency falls roughly as
+1/η — exactly the idealized trade §5.5 describes.
+"""
+
+from repro.experiments import ExperimentParams
+from repro.experiments.reporting import Report
+from repro.experiments.runner import run_method
+
+
+def test_ablation_batch_size(benchmark, emit):
+    batches = (5, 15, 30, 100)
+
+    def run():
+        report = Report(
+            title="Ablation: batch size eta (SPR on Jester)",
+            columns=[f"eta={b}" for b in batches],
+        )
+        costs, rounds = [], []
+        for batch in batches:
+            params = ExperimentParams(
+                dataset="jester", batch_size=batch, n_runs=3, seed=0
+            )
+            stats = run_method("spr", params)
+            costs.append(stats.mean_cost)
+            rounds.append(stats.mean_rounds)
+        report.add_row("TMC", costs)
+        report.add_row("latency (rounds)", rounds)
+        return report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("ablation_batch_size", report)
+    costs = report.rows["TMC"]
+    rounds = report.rows["latency (rounds)"]
+    # Latency falls monotonically with eta; cost stays within noise.
+    assert rounds == sorted(rounds, reverse=True)
+    assert max(costs) < 1.35 * min(costs)

@@ -1,0 +1,31 @@
+"""Table 10 (Appendix C) — median-selection comparison upper bounds.
+
+Regenerates the closed-form bound table and verifies the exact partial
+bubble-sort count stays below its bound across a wide range of m.
+"""
+
+from repro.experiments.reporting import Report
+from repro.stats.median_cost import (
+    MEDIAN_COST_BOUNDS,
+    bubble_median_comparisons,
+    median_cost_upper_bound,
+)
+
+
+def test_appc_median_bounds(benchmark, emit):
+    def run():
+        ms = (3, 5, 9, 15, 25, 51, 101)
+        report = Report(
+            title="Table 10: comparison upper bounds for median selection",
+            columns=[f"m={m}" for m in ms],
+        )
+        for name in sorted(MEDIAN_COST_BOUNDS):
+            report.add_row(name, [median_cost_upper_bound(name, m) for m in ms])
+        report.add_row("bubble (exact)", [bubble_median_comparisons(m) for m in ms])
+        return report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("appc_median_bounds", report)
+    exact = report.rows["bubble (exact)"]
+    bound = report.rows["bubble"]
+    assert all(e <= b for e, b in zip(exact, bound))

@@ -1,0 +1,48 @@
+"""Confidence calibration — the framework's core promise, measured.
+
+For a grid of gap-to-noise ratios and confidence levels, a decided
+comparison must be wrong at most ~α of the time (sequential repeated looks
+inflate the nominal level slightly; see `repro/stats/validation.py`).
+"""
+
+from repro.config import ComparisonConfig
+from repro.experiments.reporting import Report
+from repro.stats.validation import calibrate_tester
+
+
+def test_calibration(benchmark, emit):
+    confidences = (0.8, 0.9, 0.95, 0.98)
+    gaps = (0.2, 0.5, 1.0)
+
+    def run():
+        report = Report(
+            title="Tester calibration: measured error rate over decided runs",
+            columns=[f"1-a={c}" for c in confidences],
+        )
+        ok = True
+        for estimator in ("student", "stein"):
+            for gap in gaps:
+                rates = []
+                for confidence in confidences:
+                    config = ComparisonConfig(
+                        confidence=confidence,
+                        budget=5000,
+                        min_workload=30,
+                        estimator=estimator,  # type: ignore[arg-type]
+                    )
+                    cal = calibrate_tester(
+                        config, true_mean=gap, sigma=1.0, trials=400, seed=7
+                    )
+                    rates.append(cal.error_rate)
+                    ok = ok and cal.within_guarantee
+                report.add_row(f"{estimator} gap={gap}", rates)
+        report.add_note("guarantee check: error <= 1.5*alpha + 3 binomial sigmas")
+        report.add_note(f"all cells within guarantee: {ok}")
+        return report, ok
+
+    report, ok = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("calibration", report)
+    assert ok
+    # Error rates should broadly decrease as the confidence level rises.
+    for label, rates in report.rows.items():
+        assert rates[-1] <= rates[0] + 0.02, (label, rates)

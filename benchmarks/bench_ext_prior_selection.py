@@ -1,0 +1,56 @@
+"""Extension benchmark — prior-guided reference selection (§7 follow-up).
+
+With a decent prior over item scores, SPR can skip its sampling phase
+entirely; with an adversarial prior it pays more but stays correct.
+"""
+
+from repro.core.spr import spr_topk
+from repro.datasets import load_dataset
+from repro.experiments.reporting import Report
+from repro.extensions import spr_topk_with_prior
+from repro.metrics import ndcg_at_k
+
+
+def test_ext_prior_selection(benchmark, emit):
+    def run():
+        dataset = load_dataset("imdb", seed=0)
+        items = dataset.sample_items(400)
+        ids = items.ids.tolist()
+        rng_noise = dataset.session(seed=99).rng
+
+        good_prior = {
+            int(i): items.score_of(int(i)) + rng_noise.normal(0, 0.05)
+            for i in ids
+        }
+        bad_prior = {int(i): -items.score_of(int(i)) for i in ids}
+
+        report = Report(
+            title="Extension: prior-guided SPR (IMDb, N=400, k=10)",
+            columns=["TMC", "NDCG"],
+        )
+        session = dataset.session(seed=7)
+        plain = spr_topk(session, ids, 10)
+        report.add_row("plain SPR", [plain.cost, ndcg_at_k(items, plain.topk, 10)])
+
+        session = dataset.session(seed=7)
+        good = spr_topk_with_prior(session, ids, 10, good_prior)
+        report.add_row(
+            "prior-guided (good prior)", [good.cost, ndcg_at_k(items, good.topk, 10)]
+        )
+
+        session = dataset.session(seed=7)
+        bad = spr_topk_with_prior(session, ids, 10, bad_prior)
+        report.add_row(
+            "prior-guided (adversarial)", [bad.cost, ndcg_at_k(items, bad.topk, 10)]
+        )
+        return report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("ext_prior_selection", report)
+    plain_cost, plain_ndcg = report.rows["plain SPR"]
+    good_cost, good_ndcg = report.rows["prior-guided (good prior)"]
+    bad_cost, bad_ndcg = report.rows["prior-guided (adversarial)"]
+    assert good_cost < plain_cost  # the free reference saves the sampling phase
+    assert good_ndcg > plain_ndcg - 0.1
+    assert bad_ndcg > plain_ndcg - 0.1  # a bad prior costs money, never correctness
+    assert bad_cost > good_cost

@@ -1,0 +1,59 @@
+"""Extended comparison (beyond the paper): Borda and ELO at SPR's budget.
+
+The survey the paper builds on (Zhang et al. [44]) evaluates simpler
+heuristics than CrowdBT; this bench adds Borda counting and ELO ratings to
+the Figure-14 protocol.  Expected shape: both trail SPR's quality at the
+matched budget — uniform random pairing wastes most of its microtasks on
+pairs the top-k decision never needed, which is precisely SPR's thesis.
+"""
+
+from repro.algorithms.heuristics import borda_topk, elo_topk
+from repro.datasets import load_dataset
+from repro.experiments.reporting import Report
+from repro.experiments.runner import run_method
+from repro.experiments.params import ExperimentParams
+from repro.metrics import ndcg_at_k
+from repro.rng import make_rng, spawn_many
+
+
+def _heuristic_ndcg(algorithm, params, budget, n_runs=2):
+    dataset = load_dataset(params.dataset, seed=params.dataset_seed)
+    root = make_rng(params.seed)
+    rngs = spawn_many(root, n_runs)
+    values = []
+    for run in range(n_runs):
+        session = dataset.session(params.comparison_config(), seed=rngs[run])
+        outcome = algorithm(
+            session, dataset.items.ids.tolist(), params.k, budget=budget
+        )
+        values.append(ndcg_at_k(dataset.items, outcome.topk, params.k))
+    return sum(values) / len(values)
+
+
+def test_extended_heuristics(benchmark, emit):
+    def run():
+        report = Report(
+            title="Extended comparison: Borda / ELO at SPR's budget (NDCG)",
+            columns=["spr", "borda", "elo"],
+        )
+        for dataset in ("jester", "book"):
+            params = ExperimentParams(dataset=dataset, n_runs=2, seed=0)
+            spr = run_method("spr", params)
+            budget = int(spr.mean_cost)
+            report.add_row(
+                dataset,
+                [
+                    spr.mean_ndcg,
+                    _heuristic_ndcg(borda_topk, params, budget),
+                    _heuristic_ndcg(elo_topk, params, budget),
+                ],
+            )
+            report.add_note(f"{dataset}: matched budget {budget:,}")
+        return report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("extended_heuristics", report)
+    for dataset, row in report.rows.items():
+        spr, borda, elo = row
+        assert borda <= spr + 0.05, dataset
+        assert elo <= spr + 0.05, dataset

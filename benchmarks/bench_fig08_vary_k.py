@@ -1,0 +1,35 @@
+"""Figure 8 — TMC and latency vs k (IMDb, Book).
+
+Paper shape: SPR consistently cheaper than TourTree and QuickSelect;
+HeapSort slightly beats SPR at small k but blows up as k grows and is the
+clear latency loser; QuickSelect's latency rivals SPR's but its TMC is
+the highest of the non-racing methods.
+"""
+
+from repro.experiments import ExperimentParams, run_scalability
+
+
+def test_fig08_vary_k(benchmark, emit):
+    def run():
+        out = {}
+        for dataset in ("imdb", "book"):
+            params = ExperimentParams(dataset=dataset, n_runs=2, seed=0)
+            out[dataset] = run_scalability("k", params)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    reports = [r for pair in results.values() for r in pair]
+    emit("fig08_vary_k", *reports)
+
+    for dataset, (tmc, latency) in results.items():
+        # TMC grows with k for every method.
+        for method, series in tmc.rows.items():
+            assert series[0] <= series[-1] * 1.3, (dataset, method)
+        # SPR beats TourTree and QuickSelect at the default k=10 column.
+        k10 = tmc.columns.index("k=10")
+        assert tmc.rows["spr"][k10] < tmc.rows["tournament"][k10]
+        assert tmc.rows["spr"][k10] < tmc.rows["quickselect"][k10]
+        # HeapSort's latency dwarfs everyone else's at k=10.
+        assert latency.rows["heapsort"][k10] == max(
+            latency.rows[m][k10] for m in latency.rows
+        )

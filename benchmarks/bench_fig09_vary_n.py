@@ -1,0 +1,35 @@
+"""Figure 9 — TMC and latency vs item cardinality (IMDb, Book).
+
+Paper shape: all methods grow with N; QuickSelect / TourTree / HeapSort
+are more sensitive than SPR, whose TMC and latency stay closest to the
+Lemma-1 infimum.
+"""
+
+from repro.experiments import ExperimentParams, run_scalability
+
+
+def test_fig09_vary_n(benchmark, emit):
+    def run():
+        out = {}
+        for dataset in ("imdb", "book"):
+            params = ExperimentParams(dataset=dataset, n_runs=2, seed=0)
+            out[dataset] = run_scalability(
+                "n", params, values=(25, 50, 100, 200, 400, 800, None)
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    reports = [r for pair in results.values() for r in pair]
+    emit("fig09_vary_n", *reports)
+
+    for dataset, (tmc, _latency) in results.items():
+        last = -1  # the N=All column
+        # Monotone growth in N for every method.
+        for method, series in tmc.rows.items():
+            assert series[0] < series[last], (dataset, method)
+        # SPR is the method closest to the infimum at full scale.
+        gap = {
+            method: tmc.rows[method][last] / tmc.rows["infimum"][last]
+            for method in ("spr", "tournament", "heapsort", "quickselect")
+        }
+        assert min(gap, key=gap.get) == "spr", (dataset, gap)

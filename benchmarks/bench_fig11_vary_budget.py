@@ -1,0 +1,27 @@
+"""Figure 11 — TMC and latency vs the per-pair comparison budget B.
+
+Paper shape: TMC and latency of every method increase monotonically with
+B (bigger budgets let difficult pairs consume more before tying); SPR
+tracks the infimum closely across the whole range.
+"""
+
+from repro.experiments import ExperimentParams, run_scalability
+
+
+def test_fig11_vary_budget(benchmark, emit):
+    def run():
+        out = {}
+        for dataset in ("imdb", "book"):
+            params = ExperimentParams(dataset=dataset, n_runs=2, seed=0)
+            out[dataset] = run_scalability(
+                "budget", params, values=(30, 100, 200, 500, 1000, 2000)
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    reports = [r for pair in results.values() for r in pair]
+    emit("fig11_vary_budget", *reports)
+
+    for dataset, (tmc, _latency) in results.items():
+        for method, series in tmc.rows.items():
+            assert series[0] < series[-1], (dataset, method)

@@ -1,0 +1,23 @@
+"""Figure 12 — performance summary at the default settings (IMDb, Book).
+
+Paper shape: SPR is the only method approaching the Lemma-1 infimum on
+both TMC and latency.
+"""
+
+from repro.experiments import run_summary
+
+
+def test_fig12_summary(benchmark, emit):
+    tmc, latency = benchmark.pedantic(
+        lambda: run_summary(datasets=("imdb", "book"), n_runs=3, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig12_summary", tmc, latency)
+    methods = [c for c in tmc.columns if c != "infimum"]
+    infimum_col = tmc.columns.index("infimum")
+    spr_col = tmc.columns.index("spr")
+    for dataset, row in tmc.rows.items():
+        gaps = {m: row[tmc.columns.index(m)] / row[infimum_col] for m in methods}
+        assert min(gaps, key=gaps.get) == "spr", (dataset, gaps)
+        assert row[spr_col] < 3.5 * row[infimum_col], dataset

@@ -1,0 +1,37 @@
+"""Figure 13 — NDCG accuracy on IMDb (vs k, N, B, confidence).
+
+Paper shape: every method performs badly when B <= 100 and recovers by
+B = 1000; at the defaults all confidence-aware methods score similar,
+high NDCG (SPR matching its competitors at lower TMC).
+"""
+
+from repro.experiments import ExperimentParams, run_accuracy
+
+
+def test_fig13_accuracy(benchmark, emit):
+    def run():
+        params = ExperimentParams(dataset="imdb", n_items=400, n_runs=2, seed=0)
+        return {
+            "k": run_accuracy("k", params),
+            "n": run_accuracy("n", params, values=(50, 200, 400)),
+            "budget": run_accuracy("budget", params, values=(30, 100, 1000, 2000)),
+            "confidence": run_accuracy("confidence", params),
+        }
+
+    panels = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig13_accuracy", *panels.values())
+
+    budget_panel = panels["budget"]
+    low_b = budget_panel.columns.index("B=30")
+    high_b = budget_panel.columns.index("B=1000")
+    for method in ("spr", "tournament", "heapsort", "quickselect"):
+        series = budget_panel.rows[method]
+        # tiny budgets cannot secure accuracy; B=1000 must do far better
+        assert series[high_b] >= series[low_b] + 0.2, method
+        assert series[high_b] > 0.8, method
+
+    defaults_panel = panels["k"]
+    k10 = defaults_panel.columns.index("k=10")
+    scores = [defaults_panel.rows[m][k10] for m in
+              ("spr", "tournament", "heapsort", "quickselect")]
+    assert max(scores) - min(scores) < 0.15  # similar accuracy across methods

@@ -1,0 +1,23 @@
+"""Figure 14 — non-confidence-aware methods (IMDb, Book).
+
+Paper shape: CrowdBT trails clearly at SPR's budget (the BTL fit is
+under-determined); the hybrid methods match or slightly beat SPR's NDCG
+(ratings being the ground truth makes their filter strong), and
+HybridSPR undercuts SPR's cost while beating Hybrid.
+"""
+
+from repro.experiments import run_non_confidence
+
+
+def test_fig14_non_confidence(benchmark, emit):
+    report = benchmark.pedantic(
+        lambda: run_non_confidence(datasets=("imdb", "book"), n_runs=2, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig14_non_confidence", report)
+    for dataset, row in report.rows.items():
+        ndcg = dict(zip(report.columns, row))
+        assert ndcg["crowdbt"] < ndcg["spr"], dataset
+        assert ndcg["hybrid_spr"] >= ndcg["hybrid"] - 0.05, dataset
+        assert ndcg["spr"] > 0.85, dataset

@@ -1,0 +1,19 @@
+"""Figure 15 (Appendix D) — the ``n_b - n`` surface.
+
+Paper shape: positive for every (μ, σ) — the binary judgment model always
+needs more microtasks than the preference model.
+"""
+
+from repro.experiments import run_appendix_d
+
+
+def test_fig15_nb_minus_n(benchmark, emit):
+    report = benchmark.pedantic(
+        lambda: run_appendix_d(alpha=0.05),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig15_nb_minus_n", report)
+    for label, row in report.rows.items():
+        assert all(v > 0 for v in row), label
+    assert any("positive everywhere" in note for note in report.notes)

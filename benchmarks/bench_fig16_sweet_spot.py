@@ -1,0 +1,19 @@
+"""Figure 16 (Appendix F) — SPR TMC vs the sweet-spot constant c.
+
+Paper shape: flat — SPR's cost is stable across c ∈ {1.25, 1.5, 1.75, 2.0},
+justifying the fixed default c = 1.5.
+"""
+
+from repro.experiments import run_sweet_spot
+
+
+def test_fig16_sweet_spot(benchmark, emit):
+    report = benchmark.pedantic(
+        lambda: run_sweet_spot(datasets=("imdb", "book"), n_runs=3, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig16_sweet_spot", report)
+    for dataset, row in report.rows.items():
+        spread = (max(row) - min(row)) / min(row)
+        assert spread < 0.5, (dataset, row)  # stable across c

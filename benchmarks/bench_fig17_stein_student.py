@@ -1,0 +1,18 @@
+"""Figure 17 (Appendix F) — SteinComp vs StudentComp inside SPR (IMDb).
+
+Paper shape: the two estimators are analogous — the TMC-vs-k curves track
+each other closely.
+"""
+
+from repro.experiments import run_stein_vs_student
+
+
+def test_fig17_stein_vs_student(benchmark, emit):
+    report = benchmark.pedantic(
+        lambda: run_stein_vs_student(dataset="imdb", n_runs=2, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig17_stein_student", report)
+    for ratio in report.rows["stein/student"]:
+        assert 0.5 < ratio < 2.0

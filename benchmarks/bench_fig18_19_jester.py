@@ -1,0 +1,32 @@
+"""Figures 18-19 (Appendix F) — TMC and latency sweeps on Jester.
+
+Paper shape: same trends as IMDb/Book (Figures 8-11) at Jester's smaller
+scale; SPR remains the cheapest confidence-aware method overall.
+"""
+
+from repro.experiments import ExperimentParams, run_scalability
+
+
+def test_fig18_19_jester(benchmark, emit):
+    def run():
+        params = ExperimentParams(dataset="jester", n_runs=3, seed=0)
+        return {
+            "k": run_scalability("k", params),
+            "n": run_scalability("n", params, values=(25, 50, None)),
+            "confidence": run_scalability("confidence", params),
+            "budget": run_scalability("budget", params, values=(30, 200, 1000, 2000)),
+        }
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+    reports = [report for pair in sweeps.values() for report in pair]
+    emit("fig18_19_jester", *reports)
+
+    tmc_k, latency_k = sweeps["k"]
+    k10 = tmc_k.columns.index("k=10")
+    assert tmc_k.rows["spr"][k10] < tmc_k.rows["tournament"][k10]
+    assert latency_k.rows["heapsort"][k10] == max(
+        latency_k.rows[m][k10] for m in latency_k.rows
+    )
+    tmc_b, _ = sweeps["budget"]
+    for method, series in tmc_b.rows.items():
+        assert series[0] < series[-1], method

@@ -1,0 +1,30 @@
+"""Figures 20-21 (Appendix F) — TMC and latency sweeps on Photo.
+
+Paper shape: same trends as the other datasets on the record-database
+oracle; SPR cheapest overall, heap sort the latency loser.
+"""
+
+from repro.experiments import ExperimentParams, run_scalability
+
+
+def test_fig20_21_photo(benchmark, emit):
+    def run():
+        params = ExperimentParams(dataset="photo", n_runs=3, seed=0)
+        return {
+            "k": run_scalability("k", params),
+            "n": run_scalability("n", params, values=(25, 50, 100, None)),
+            "confidence": run_scalability("confidence", params),
+            "budget": run_scalability("budget", params, values=(30, 200, 1000, 2000)),
+        }
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+    reports = [report for pair in sweeps.values() for report in pair]
+    emit("fig20_21_photo", *reports)
+
+    tmc_k, latency_k = sweeps["k"]
+    k10 = tmc_k.columns.index("k=10")
+    assert tmc_k.rows["spr"][k10] < tmc_k.rows["tournament"][k10]
+    assert tmc_k.rows["spr"][k10] < tmc_k.rows["quickselect"][k10]
+    assert latency_k.rows["heapsort"][k10] == max(
+        latency_k.rows[m][k10] for m in latency_k.rows
+    )

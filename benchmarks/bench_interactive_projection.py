@@ -1,0 +1,22 @@
+"""Appendix F, operationally — dollars, hours and quality of a deployment.
+
+The paper's live PeopleAge run: US$10.56, 6 h 55 min, NDCG 0.917.  The
+projection combines the simulated query with Appendix B's unit cost and
+answer times; the shape to reproduce is single-digit dollars, single-digit
+hours, ~0.9 NDCG.
+"""
+
+from repro.experiments.interactive import run_interactive
+
+
+def test_interactive_projection(benchmark, emit):
+    report = benchmark.pedantic(
+        lambda: run_interactive(n_runs=5, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit("interactive_projection", report)
+    dollars, hours, ndcg = report.rows["SPR (ours, projected)"]
+    assert 2.0 < dollars < 30.0
+    assert 0.5 < hours < 24.0
+    assert ndcg > 0.85

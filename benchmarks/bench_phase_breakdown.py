@@ -1,0 +1,23 @@
+"""SPR phase breakdown — selection vs partition vs rank spending.
+
+Diagnostic companion to the complexity analysis of §5: selection and
+partition should carry comparable O(Nw) weight, ranking a small remainder
+(it grows only when Algorithm 2 recurses).
+"""
+
+from repro.experiments.phase_breakdown import run_phase_breakdown
+
+
+def test_phase_breakdown(benchmark, emit):
+    report = benchmark.pedantic(
+        lambda: run_phase_breakdown(n_runs=3, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit("phase_breakdown", report)
+    for dataset, row in report.rows.items():
+        selection, partition, tail, total = row
+        assert abs(selection + partition + tail - total) < 1.0, dataset
+        # Selection must not dominate partitioning by more than ~2x — the
+        # design constraint of problem (2).
+        assert selection < 2.0 * partition + 1000, dataset

@@ -1,0 +1,22 @@
+"""Robustness extension — spammer-rate sweep (not a paper experiment).
+
+The confidence-aware design's promise under hostile crowds: worker
+degradation is converted into monetary cost, not into confidently wrong
+answers.  TMC must rise visibly with the spammer rate while NDCG stays
+high.
+"""
+
+from repro.experiments.robustness import run_robustness
+
+
+def test_robustness_spammers(benchmark, emit):
+    report = benchmark.pedantic(
+        lambda: run_robustness(n_runs=3, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit("robustness_spammers", report)
+    costs = report.rows["TMC"]
+    ndcgs = report.rows["NDCG"]
+    assert costs[-1] > 1.3 * costs[0]  # 40% spammers make the query dearer
+    assert min(ndcgs) > 0.8  # ...but never confidently wrong

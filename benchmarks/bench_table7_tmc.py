@@ -1,0 +1,35 @@
+"""Table 7 — TMC of the confidence-aware methods on all four datasets.
+
+Paper (100-run averages):
+
+========  =======  ========  ========  ===========  =========
+dataset     SPR    TourTree  HeapSort  QuickSelect     PBR
+========  =======  ========  ========  ===========  =========
+IMDb       88,233   177,231   114,190      334,938       1.6M
+Book       80,369   175,280   115,382      319,498       2.2M
+Jester     35,371    47,560    56,265       80,497    222,596
+Photo      30,989    38,787    48,920       58,088     41,360
+========  =======  ========  ========  ===========  =========
+
+Shape to reproduce: SPR cheapest (or near-cheapest) everywhere and PBR an
+order of magnitude above the rest on the larger datasets.
+"""
+
+from repro.experiments import run_table7
+
+
+def test_table7_tmc(benchmark, emit):
+    report = benchmark.pedantic(
+        lambda: run_table7(n_runs=3, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit("table7_tmc", report)
+    methods = report.columns
+    for dataset, row in report.rows.items():
+        costs = dict(zip(methods, row))
+        # SPR beats the tournament tree and quick selection everywhere...
+        assert costs["spr"] < costs["tournament"], dataset
+        assert costs["spr"] < costs["quickselect"], dataset
+        # ...and PBR is by far the most expensive method.
+        assert costs["pbr"] == max(costs.values()), dataset

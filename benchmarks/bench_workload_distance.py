@@ -1,0 +1,29 @@
+"""Figure 3's premise — workload falls as rank distance grows.
+
+The monotone-decreasing curve (and the vanishing tie rate) is the empirical
+fact that justifies Select-Partition-Rank: comparisons against a far-away
+reference are cheap, so a well-placed reference prunes almost everything at
+near-cold-start cost.
+"""
+
+from repro.experiments.workload_distance import run_workload_distance
+
+
+def test_workload_distance(benchmark, emit):
+    report = benchmark.pedantic(
+        lambda: run_workload_distance(
+            "imdb", distances=(1, 5, 25, 100, 400), pairs_per_distance=15,
+            n_runs=2, seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("workload_distance", report)
+    workloads = report.rows["mean workload"]
+    ties = report.rows["tie rate"]
+    # Broadly decreasing workload; adjacent pairs cost an order of
+    # magnitude more than far ones and tie far more often.
+    assert workloads[0] > 3 * workloads[-1]
+    assert workloads[-1] < 100
+    assert ties[0] > ties[-1]
+    assert ties[-1] < 0.1

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper and `emit`s
+the resulting report: printed to the terminal (visible with ``-s`` /
+``-rA``) and persisted under ``benchmarks/results/`` so EXPERIMENTS.md can
+cite the exact artifacts.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Run counts are deliberately below the paper's 100-run averages to keep the
+whole suite laptop-scale; every entry point takes ``n_runs`` for full
+fidelity (see EXPERIMENTS.md for the counts used in the recorded results).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit():
+    """Print report(s) and persist them under benchmarks/results/."""
+
+    def _emit(name: str, *reports) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = "\n\n".join(report.to_text() for report in reports)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _emit

@@ -1,0 +1,64 @@
+"""Quickstart: answer a crowdsourced top-k query with SPR.
+
+Loads the synthetic Jester dataset (100 jokes, judgments are within-user
+rating differences), asks for the 10 best jokes at 98% per-comparison
+confidence, and prints what the query cost and how good the answer is.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ComparisonConfig,
+    SPRConfig,
+    load_dataset,
+    ndcg_at_k,
+    spr_topk,
+    top_k_precision,
+)
+
+
+def main() -> None:
+    dataset = load_dataset("jester", seed=0)
+    print(f"dataset: {dataset.description}")
+
+    config = ComparisonConfig(confidence=0.98, budget=1000)
+    session = dataset.session(config, seed=42)
+
+    result = spr_topk(
+        session,
+        dataset.items.ids.tolist(),
+        k=10,
+        config=SPRConfig(comparison=config),
+    )
+
+    print("\ntop-10 jokes (best first):")
+    for position, item in enumerate(result.topk, start=1):
+        true_rank = dataset.items.rank_of(item)
+        print(
+            f"  {position:2d}. {dataset.items.label_of(item)}"
+            f"  (true rank {true_rank})"
+        )
+
+    print("\nwhat it cost:")
+    print(f"  total monetary cost : {session.total_cost:,} microtasks")
+    print(f"  query latency       : {session.total_rounds:,} batch rounds")
+    print(f"  comparisons run     : {session.cost.comparisons:,}")
+
+    part = result.partition_result
+    assert part is not None
+    print("\nhow SPR got there:")
+    print(f"  sampling plan       : x={result.selection.plan.x}, "
+          f"m={result.selection.plan.m} "
+          f"(sweet-spot probability {result.selection.plan.probability:.2f})")
+    print(f"  final reference     : {dataset.items.label_of(part.reference)} "
+          f"(true rank {dataset.items.rank_of(part.reference)})")
+    print(f"  partition W/T/L     : {len(part.winners)}/{len(part.ties)}/"
+          f"{len(part.losers)}, {part.reference_changes} reference change(s)")
+
+    print("\nresult quality vs ground truth:")
+    print(f"  NDCG@10   : {ndcg_at_k(dataset.items, result.topk, 10):.3f}")
+    print(f"  precision : {top_k_precision(dataset.items, result.topk, 10):.2f}")
+
+
+if __name__ == "__main__":
+    main()

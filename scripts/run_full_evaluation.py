@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Run the complete paper evaluation at configurable fidelity.
+
+The benchmark suite keeps run counts laptop-friendly; this script is the
+"leave it overnight" path — it regenerates every table and figure at any
+``--runs`` count (the paper uses 100) and writes all reports to a results
+directory as text, JSON and CSV.
+
+Usage::
+
+    python scripts/run_full_evaluation.py --runs 10 --out results_full
+    python scripts/run_full_evaluation.py --runs 100 --only table7 fig8
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments import (
+    ExperimentParams,
+    run_accuracy,
+    run_appendix_d,
+    run_non_confidence,
+    run_peopleage,
+    run_robustness,
+    run_scalability,
+    run_stein_vs_student,
+    run_summary,
+    run_sweet_spot,
+    run_table3,
+    run_table4,
+    run_table7,
+)
+
+
+def _sweep_all(vary, runs, seed):
+    reports = []
+    for dataset in ("imdb", "book", "jester", "photo"):
+        params = ExperimentParams(dataset=dataset, n_runs=runs, seed=seed)
+        reports.extend(run_scalability(vary, params))
+    return reports
+
+
+EXPERIMENTS = {
+    "table3": lambda runs, seed: [run_table3(n_runs=max(runs // 2, 1), seed=seed)],
+    "table4": lambda runs, seed: [
+        run_table4(ExperimentParams(n_runs=runs, seed=seed))
+    ],
+    "table7": lambda runs, seed: [run_table7(n_runs=runs, seed=seed)],
+    "fig8": lambda runs, seed: _sweep_all("k", runs, seed),
+    "fig9": lambda runs, seed: _sweep_all("n", runs, seed),
+    "fig10": lambda runs, seed: _sweep_all("confidence", runs, seed),
+    "fig11": lambda runs, seed: _sweep_all("budget", runs, seed),
+    "fig12": lambda runs, seed: list(run_summary(n_runs=runs, seed=seed)),
+    "fig13": lambda runs, seed: [
+        run_accuracy(vary, ExperimentParams(n_runs=runs, seed=seed))
+        for vary in ("k", "n", "budget", "confidence")
+    ],
+    "fig14": lambda runs, seed: [run_non_confidence(n_runs=runs, seed=seed)],
+    "fig15": lambda runs, seed: [run_appendix_d()],
+    "fig16": lambda runs, seed: [run_sweet_spot(n_runs=runs, seed=seed)],
+    "fig17": lambda runs, seed: [
+        run_stein_vs_student(n_runs=runs, seed=seed)
+    ],
+    "peopleage": lambda runs, seed: [run_peopleage(n_runs=runs, seed=seed)],
+    "robustness": lambda runs, seed: [run_robustness(n_runs=runs, seed=seed)],
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=10, help="runs per cell")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=pathlib.Path("results_full")
+    )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        choices=sorted(EXPERIMENTS),
+        default=None,
+        help="subset of experiments (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.only if args.only else sorted(EXPERIMENTS)
+    args.out.mkdir(parents=True, exist_ok=True)
+    started = time.time()
+    for name in names:
+        print(f"[{time.time() - started:7.0f}s] running {name} "
+              f"(runs={args.runs}) …", flush=True)
+        reports = EXPERIMENTS[name](args.runs, args.seed)
+        text = "\n\n".join(report.to_text() for report in reports)
+        (args.out / f"{name}.txt").write_text(text + "\n")
+        for position, report in enumerate(reports):
+            stem = name if len(reports) == 1 else f"{name}_{position}"
+            (args.out / f"{stem}.json").write_text(report.to_json() + "\n")
+            (args.out / f"{stem}.csv").write_text(report.to_csv())
+        print(text)
+        print()
+    print(f"done in {time.time() - started:.0f}s; reports in {args.out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""crowd-topk — crowdsourced top-k queries by confidence-aware pairwise judgments.
+
+A from-scratch reproduction of Kou, Li, Wang, U and Gong,
+*Crowdsourced Top-k Queries by Confidence-Aware Pairwise Judgments*
+(SIGMOD 2017): the pairwise preference judgment model with Student/Stein
+confidence estimation, the Select-Partition-Rank (SPR) framework, every
+baseline the paper evaluates, a simulated crowdsourcing platform with
+cost/latency accounting, and an experiment harness regenerating every
+table and figure.
+
+Quickstart::
+
+    from repro import load_dataset, spr_topk, SPRConfig, ndcg_at_k
+
+    dataset = load_dataset("jester")
+    session = dataset.session(seed=0)
+    result = spr_topk(session, dataset.items.ids.tolist(), k=10)
+    print(result.topk, session.total_cost, session.total_rounds)
+    print(ndcg_at_k(dataset.items, result.topk, 10))
+"""
+
+from .algorithms import (
+    ALGORITHMS,
+    TopKOutcome,
+    crowdbt_topk,
+    heapsort_topk,
+    hybrid_spr_topk,
+    hybrid_topk,
+    infimum_estimate,
+    pbr_topk,
+    quickselect_topk,
+    tournament_topk,
+)
+from .config import ComparisonConfig, SPRConfig
+from .core import Comparator, ComparisonRecord, ItemSet, JudgmentCache, Outcome
+from .core.spr import (
+    PartitionResult,
+    SPRResult,
+    SelectionResult,
+    partition,
+    reference_sort,
+    select_reference,
+    spr_topk,
+)
+from .crowd import (
+    BinaryOracle,
+    CrowdSession,
+    HistogramOracle,
+    JudgmentOracle,
+    LatentScoreOracle,
+    RacingPool,
+    RecordDatabaseOracle,
+    UserTableOracle,
+)
+from .datasets import DATASET_NAMES, Dataset, load_dataset
+from .errors import (
+    AlgorithmError,
+    BudgetExhaustedError,
+    ConfigError,
+    CrowdTopkError,
+    DatasetError,
+    OracleError,
+)
+from .metrics import kendall_tau, ndcg_at_k, top_k_precision, top_k_recall
+from .persistence import cache_from_json, cache_to_json, load_cache, save_cache
+from .planner import QueryPlan, plan_query
+from .tracing import QueryTrace, trace_session
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmError",
+    "BinaryOracle",
+    "BudgetExhaustedError",
+    "Comparator",
+    "ComparisonConfig",
+    "ComparisonRecord",
+    "ConfigError",
+    "CrowdSession",
+    "CrowdTopkError",
+    "DATASET_NAMES",
+    "Dataset",
+    "DatasetError",
+    "HistogramOracle",
+    "ItemSet",
+    "JudgmentCache",
+    "JudgmentOracle",
+    "LatentScoreOracle",
+    "OracleError",
+    "Outcome",
+    "PartitionResult",
+    "RacingPool",
+    "RecordDatabaseOracle",
+    "SPRConfig",
+    "SPRResult",
+    "SelectionResult",
+    "TopKOutcome",
+    "UserTableOracle",
+    "crowdbt_topk",
+    "heapsort_topk",
+    "hybrid_spr_topk",
+    "hybrid_topk",
+    "infimum_estimate",
+    "kendall_tau",
+    "load_dataset",
+    "ndcg_at_k",
+    "QueryPlan",
+    "QueryTrace",
+    "cache_from_json",
+    "cache_to_json",
+    "load_cache",
+    "partition",
+    "plan_query",
+    "save_cache",
+    "trace_session",
+    "pbr_topk",
+    "quickselect_topk",
+    "reference_sort",
+    "select_reference",
+    "spr_topk",
+    "top_k_precision",
+    "top_k_recall",
+    "tournament_topk",
+    "__version__",
+]

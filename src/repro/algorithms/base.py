@@ -1,0 +1,68 @@
+"""Common result type and helpers for top-k algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..errors import AlgorithmError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..crowd.session import CrowdSession
+
+__all__ = ["TopKOutcome", "validate_query", "measured"]
+
+
+@dataclass(frozen=True)
+class TopKOutcome:
+    """What a top-k algorithm produced and what it spent.
+
+    Attributes
+    ----------
+    method:
+        Algorithm name (harness key).
+    topk:
+        The returned items, best first.
+    cost:
+        Total monetary cost in microtasks (TMC contribution of this call).
+    rounds:
+        Latency in batch rounds.
+    extras:
+        Method-specific diagnostics (reference trail, plan, fitted scores…).
+    """
+
+    method: str
+    topk: tuple[int, ...]
+    cost: int
+    rounds: int
+    extras: dict = field(default_factory=dict)
+
+
+def validate_query(item_ids: list[int], k: int) -> list[int]:
+    """Normalize and validate a top-k query's inputs."""
+    ids = [int(i) for i in item_ids]
+    if len(ids) != len(set(ids)):
+        raise AlgorithmError("item_ids must not contain duplicates")
+    if not ids:
+        raise AlgorithmError("item_ids must not be empty")
+    if not 1 <= k <= len(ids):
+        raise AlgorithmError(f"k must be in [1, {len(ids)}], got {k}")
+    return ids
+
+
+def measured(
+    method: str,
+    session: "CrowdSession",
+    topk: list[int],
+    spent_before: tuple[int, int],
+    extras: dict | None = None,
+) -> TopKOutcome:
+    """Build a :class:`TopKOutcome` from ledger deltas since ``spent_before``."""
+    cost_after, rounds_after = session.spent()
+    return TopKOutcome(
+        method=method,
+        topk=tuple(int(i) for i in topk),
+        cost=cost_after - spent_before[0],
+        rounds=rounds_after - spent_before[1],
+        extras=extras if extras is not None else {},
+    )

@@ -1,0 +1,40 @@
+"""The naive baseline: sort everything, take the first k.
+
+The straw man the paper's framing dismisses — answering a top-k query by
+establishing the *complete* total order.  Useful as a calibration point:
+it shows exactly how much money the top-k structure (pruning against one
+reference) saves over full ranking, and it is the honest choice when the
+caller actually needs the whole order.
+
+Uses crowd merge sort: on an unordered input its ``O(N log N)``
+comparisons dominate bubble's ``O(N²)``, and there is no near-sorted seed
+to exploit.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.sorting import merge_sort
+from .base import TopKOutcome, measured, validate_query
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..crowd.session import CrowdSession
+
+__all__ = ["fullsort_topk"]
+
+
+def fullsort_topk(
+    session: "CrowdSession", item_ids: list[int], k: int
+) -> TopKOutcome:
+    """Answer the top-k query by fully sorting the item set."""
+    ids = validate_query(item_ids, k)
+    before = session.spent()
+    ranked = merge_sort(session, ids)
+    return measured(
+        "fullsort",
+        session,
+        ranked[:k],
+        before,
+        extras={"full_order_length": len(ranked)},
+    )

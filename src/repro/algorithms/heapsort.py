@@ -1,0 +1,79 @@
+"""Heap-sort baseline — §4.2.
+
+A min-heap of ``k`` candidate items is seeded from random items; every
+other item is then tested *sequentially* against the heap root (the worst
+candidate) and replaces it when found better.  The total workload is
+``O(Nw log k)``; the strictly sequential scan is why heap sort has by far
+the worst latency of the baselines (§5.5).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.outcomes import Outcome
+from ..core.sorting import odd_even_sort, resolve_winner
+from .base import TopKOutcome, measured, validate_query
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..crowd.session import CrowdSession
+
+__all__ = ["heapsort_topk"]
+
+
+class _CrowdMinHeap:
+    """A fixed-size min-heap ordered by crowd comparisons (root = worst)."""
+
+    def __init__(self, session: "CrowdSession", items: list[int]) -> None:
+        self.session = session
+        self.heap = list(items)
+        for pos in range(len(self.heap) // 2 - 1, -1, -1):
+            self._sift_down(pos)
+
+    def _worse(self, a: int, b: int) -> bool:
+        """Whether item ``a`` is worse than item ``b`` (crowd-judged)."""
+        record = self.session.compare(a, b)
+        if record.outcome is Outcome.TIE:
+            return resolve_winner(record, self.session.rng) == b
+        return record.outcome is Outcome.RIGHT
+
+    def _sift_down(self, pos: int) -> None:
+        size = len(self.heap)
+        while True:
+            left, right = 2 * pos + 1, 2 * pos + 2
+            worst = pos
+            if left < size and self._worse(self.heap[left], self.heap[worst]):
+                worst = left
+            if right < size and self._worse(self.heap[right], self.heap[worst]):
+                worst = right
+            if worst == pos:
+                return
+            self.heap[pos], self.heap[worst] = self.heap[worst], self.heap[pos]
+            pos = worst
+
+    @property
+    def root(self) -> int:
+        return self.heap[0]
+
+    def replace_root(self, item: int) -> None:
+        self.heap[0] = item
+        self._sift_down(0)
+
+
+def heapsort_topk(
+    session: "CrowdSession", item_ids: list[int], k: int
+) -> TopKOutcome:
+    """Answer the top-k query with a crowd-powered heap scan."""
+    ids = validate_query(item_ids, k)
+    before = session.spent()
+
+    order = list(ids)
+    session.rng.shuffle(order)
+    heap = _CrowdMinHeap(session, order[:k])
+    for item in order[k:]:
+        record = session.compare(item, heap.root)
+        if record.outcome is Outcome.LEFT:
+            heap.replace_root(item)
+
+    ranked = odd_even_sort(session, heap.heap)
+    return measured("heapsort", session, ranked, before)

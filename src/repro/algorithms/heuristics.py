@@ -1,0 +1,135 @@
+"""Budget-matched heuristic rankers from the crowdsourced-top-k survey.
+
+The paper benchmarks two non-confidence-aware methods (CrowdBT, Hybrid).
+The survey it builds on (Zhang, Li & Feng, PVLDB'16 [44]) evaluates a
+longer tail of heuristics; the two most instructive are implemented here
+to extend the Figure-14 comparison:
+
+* :func:`borda_topk` — spread the budget over random pairs, rank items by
+  their empirical win rate (Borda / Copeland counting).  The simplest
+  possible aggregation and the classic "why you need a model" baseline.
+* :func:`elo_topk` — sequential ELO updates over random pairs: each vote
+  moves the two items' ratings by a K-factor scaled surprise.  Order-
+  sensitive and non-convergent at fixed K, but cheap and incremental.
+
+Both consume exactly ``budget`` binary microtasks, like the paper's
+CrowdBT protocol.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..crowd.oracle import BinaryOracle
+from ..errors import AlgorithmError
+from .base import TopKOutcome, measured, validate_query
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..crowd.session import CrowdSession
+
+__all__ = ["borda_topk", "elo_topk"]
+
+
+def _random_binary_votes(
+    session: "CrowdSession", ids: list[int], budget: int, chunk: int = 8192
+):
+    """Yield ``(left_pos, right_pos, vote)`` for ``budget`` random pairs.
+
+    Votes are bought through a binary-judgment fork of the session in
+    vectorized chunks; positions index into ``ids``.
+    """
+    voting = session.fork(oracle=BinaryOracle(session.oracle))
+    rng = voting.rng
+    id_array = np.asarray(ids, dtype=np.int64)
+    n = len(ids)
+    remaining = budget
+    while remaining > 0:
+        m = min(chunk, remaining)
+        a = rng.integers(0, n, size=m)
+        shift = rng.integers(1, n, size=m)
+        b = (a + shift) % n
+        votes = voting.oracle.draw_pairs(id_array[a], id_array[b], 1, rng)[:, 0]
+        yield a, b, votes
+        remaining -= m
+
+
+def _finish(
+    session: "CrowdSession", method: str, ids, scores, k, before, budget, extras
+) -> TopKOutcome:
+    session.charge_cost(budget)
+    # All votes are independent microtasks: the whole spend parallelizes
+    # into a handful of batch rounds.
+    session.charge_rounds(
+        max(1, math.ceil(budget / max(len(ids), 1) / session.config.batch_size))
+    )
+    ranking = np.argsort(-np.asarray(scores), kind="stable")
+    topk = [ids[int(pos)] for pos in ranking[:k]]
+    return measured(method, session, topk, before, extras)
+
+
+def borda_topk(
+    session: "CrowdSession", item_ids: list[int], k: int, *, budget: int
+) -> TopKOutcome:
+    """Rank items by empirical win rate over ``budget`` random binary votes."""
+    ids = validate_query(item_ids, k)
+    if budget < 1:
+        raise AlgorithmError(f"budget must be >= 1, got {budget}")
+    before = session.spent()
+
+    n = len(ids)
+    wins = np.zeros(n, dtype=np.float64)
+    appearances = np.zeros(n, dtype=np.float64)
+    for a, b, votes in _random_binary_votes(session, ids, budget):
+        np.add.at(appearances, a, 1.0)
+        np.add.at(appearances, b, 1.0)
+        np.add.at(wins, np.where(votes > 0, a, b), 1.0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        rate = np.where(appearances > 0, wins / appearances, 0.0)
+    return _finish(
+        session, "borda", ids, rate, k, before, budget,
+        {"votes": budget, "min_appearances": int(appearances.min())},
+    )
+
+
+def elo_topk(
+    session: "CrowdSession",
+    item_ids: list[int],
+    k: int,
+    *,
+    budget: int,
+    k_factor: float = 24.0,
+    spread: float = 400.0,
+) -> TopKOutcome:
+    """Rank items by ELO ratings updated over ``budget`` random binary votes.
+
+    Standard logistic ELO: the winner of each vote gains
+    ``K · (1 − expected)`` rating points where
+    ``expected = 1 / (1 + 10^{(r_loser − r_winner)/spread})``.  Updates are
+    sequential within each purchased chunk (ELO is order-dependent by
+    design).
+    """
+    ids = validate_query(item_ids, k)
+    if budget < 1:
+        raise AlgorithmError(f"budget must be >= 1, got {budget}")
+    if k_factor <= 0 or spread <= 0:
+        raise AlgorithmError("k_factor and spread must be positive")
+    before = session.spent()
+
+    ratings = np.full(len(ids), 1500.0)
+    for a, b, votes in _random_binary_votes(session, ids, budget):
+        winners = np.where(votes > 0, a, b)
+        losers = np.where(votes > 0, b, a)
+        for w_pos, l_pos in zip(winners, losers):
+            expected = 1.0 / (
+                1.0 + 10.0 ** ((ratings[l_pos] - ratings[w_pos]) / spread)
+            )
+            delta = k_factor * (1.0 - expected)
+            ratings[w_pos] += delta
+            ratings[l_pos] -= delta
+    return _finish(
+        session, "elo", ids, ratings, k, before, budget,
+        {"votes": budget, "rating_spread": float(ratings.max() - ratings.min())},
+    )

@@ -1,0 +1,176 @@
+"""Hybrid baselines — Khan & Garcia-Molina's grade-then-rank strategy (§6.5).
+
+``hybrid_topk`` is the paper's HYBRID: spend part of a fixed budget on
+*graded* judgments to filter the item set down to a small candidate pool
+(ratings being treated as ground truth, this filter is strong), then spend
+the rest on round-robin pairwise binary votes among the candidates and rank
+them Copeland-style, tie-broken by the phase-1 ratings.
+
+``hybrid_spr_topk`` is the paper's HYBRIDSPR: the same filtering phase, but
+the surviving candidates are ranked by confidence-aware SPR — the
+combination the paper reports saves ~10% of SPR's cost while matching
+HYBRID's quality.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..config import SPRConfig
+from ..core.spr import spr_topk
+from ..crowd.oracle import BinaryOracle
+from ..errors import AlgorithmError
+from .base import TopKOutcome, measured, validate_query
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..crowd.session import CrowdSession
+
+__all__ = ["hybrid_topk", "hybrid_spr_topk", "graded_filter"]
+
+
+def graded_filter(
+    session: "CrowdSession",
+    item_ids: list[int],
+    pool_size: int,
+    votes_per_item: int,
+) -> tuple[list[int], dict[int, float]]:
+    """Phase 1: grade every item and keep the ``pool_size`` best by mean.
+
+    Returns the surviving candidates and every item's mean observed rating.
+    Charges ``len(items) * votes_per_item`` microtasks; all items are graded
+    in parallel, so latency is ``ceil(votes_per_item / η)`` rounds.
+    """
+    if not session.oracle.supports_rating:
+        raise AlgorithmError(
+            f"oracle {type(session.oracle).__name__} cannot answer graded "
+            "judgments; the hybrid methods need a rating-capable dataset"
+        )
+    if votes_per_item < 1:
+        raise AlgorithmError(f"votes_per_item must be >= 1, got {votes_per_item}")
+    if not 1 <= pool_size <= len(item_ids):
+        raise AlgorithmError(
+            f"pool_size must be in [1, {len(item_ids)}], got {pool_size}"
+        )
+    means: dict[int, float] = {}
+    for item in item_ids:
+        ratings = session.oracle.rate(int(item), votes_per_item, session.rng)
+        means[int(item)] = float(np.mean(ratings))
+    session.charge_cost(len(item_ids) * votes_per_item)
+    session.charge_rounds(math.ceil(votes_per_item / session.config.batch_size))
+    survivors = sorted(means, key=lambda item: -means[item])[:pool_size]
+    return survivors, means
+
+
+def hybrid_topk(
+    session: "CrowdSession",
+    item_ids: list[int],
+    k: int,
+    *,
+    budget: int,
+    filter_fraction: float = 0.5,
+    pool_factor: float = 2.0,
+) -> TopKOutcome:
+    """Answer the top-k query with the budget-matched HYBRID strategy."""
+    ids = validate_query(item_ids, k)
+    n = len(ids)
+    if budget < n:
+        raise AlgorithmError(
+            f"budget {budget} cannot grade {n} items even once"
+        )
+    if not 0.0 < filter_fraction < 1.0:
+        raise AlgorithmError(
+            f"filter_fraction must be in (0, 1), got {filter_fraction}"
+        )
+    if pool_factor < 1.0:
+        raise AlgorithmError(f"pool_factor must be >= 1, got {pool_factor}")
+    before = session.spent()
+
+    votes_per_item = max(1, int(budget * filter_fraction) // n)
+    pool_size = min(max(k, math.ceil(pool_factor * k)), n)
+    candidates, means = graded_filter(session, ids, pool_size, votes_per_item)
+
+    # Phase 2: round-robin binary votes among the candidates.
+    pairs = [
+        (candidates[a], candidates[b])
+        for a in range(len(candidates))
+        for b in range(a + 1, len(candidates))
+    ]
+    phase2_budget = budget - n * votes_per_item
+    votes_per_pair = max(1, phase2_budget // max(len(pairs), 1))
+    voting = session.fork(oracle=BinaryOracle(session.oracle))
+    wins: dict[int, float] = {item: 0.0 for item in candidates}
+    if pairs:
+        left = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        right = np.asarray([p[1] for p in pairs], dtype=np.int64)
+        votes = voting.oracle.draw_pairs(left, right, votes_per_pair, voting.rng)
+        for (a, b), tally in zip(pairs, votes.sum(axis=1)):
+            if tally > 0:
+                wins[a] += 1.0
+            elif tally < 0:
+                wins[b] += 1.0
+            else:
+                wins[a] += 0.5
+                wins[b] += 0.5
+        session.charge_cost(len(pairs) * votes_per_pair)
+        session.charge_rounds(
+            math.ceil(votes_per_pair / session.config.batch_size)
+        )
+
+    ranked = sorted(candidates, key=lambda item: (-wins[item], -means[item]))
+    return measured(
+        "hybrid",
+        session,
+        ranked[:k],
+        before,
+        extras={
+            "votes_per_item": votes_per_item,
+            "pool_size": pool_size,
+            "votes_per_pair": votes_per_pair if pairs else 0,
+        },
+    )
+
+
+def hybrid_spr_topk(
+    session: "CrowdSession",
+    item_ids: list[int],
+    k: int,
+    *,
+    votes_per_item: int = 30,
+    pool_factor: float = 2.0,
+    spr_config: SPRConfig | None = None,
+) -> TopKOutcome:
+    """Answer the top-k query with HYBRIDSPR: graded filter, SPR ranking.
+
+    Unlike HYBRID this is not budget-capped — the SPR phase spends whatever
+    its confidence guarantee requires; the combination typically undercuts
+    plain SPR because the filter removed almost all of the partitioning
+    work.
+    """
+    ids = validate_query(item_ids, k)
+    if pool_factor < 1.0:
+        raise AlgorithmError(f"pool_factor must be >= 1, got {pool_factor}")
+    before = session.spent()
+
+    pool_size = min(max(k, math.ceil(pool_factor * k)), len(ids))
+    candidates, _ = graded_filter(session, ids, pool_size, votes_per_item)
+
+    config = (
+        spr_config
+        if spr_config is not None
+        else SPRConfig(comparison=session.config)
+    )
+    result = spr_topk(session, candidates, k, config)
+    return measured(
+        "hybrid_spr",
+        session,
+        list(result.topk),
+        before,
+        extras={
+            "votes_per_item": votes_per_item,
+            "pool_size": pool_size,
+            "spr_recursed": result.recursed,
+        },
+    )

@@ -1,0 +1,218 @@
+"""Preference-based racing (PBR) — Busa-Fekete et al., ICML 2013.
+
+The paper's confidence-aware competitor that buys pairwise *binary* votes
+and brackets each pair's mean with distribution-free Hoeffding intervals
+(no transitivity assumed, hence its appetite for microtasks — Table 7).
+
+An item's top-k *membership* resolves from decided pairs alone: confirmed
+**in** once it has beaten ``N − k`` items (at most ``k − 1`` can be
+better), confirmed **out** once ``k`` items have beaten it.  Racing all
+``N(N−1)/2`` pairs eagerly would waste most of its samples — an item that
+ends up discarded only ever needed ``k`` decided losses — so, like the
+original algorithm, pairs are scheduled *lazily*: every undecided item
+keeps a bounded window of its pairs racing and opens the next pair only
+when one resolves; pairs whose both endpoints are decided stop.
+
+Unlike the parametric testers, Hoeffding's inequality is valid from the
+first sample, so PBR runs without the 30-sample cold start (the paper's
+``I`` exists to make variance estimates trustworthy, which Hoeffding never
+needs).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..crowd.oracle import BinaryOracle
+from ..crowd.pool import ACTIVE, DEACTIVATED, RacingPool
+from .base import TopKOutcome, measured, validate_query
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..crowd.session import CrowdSession
+
+__all__ = ["pbr_topk"]
+
+#: Votes bought per racing pair per round.
+DEFAULT_STEP = 4
+
+
+class _LazySchedule:
+    """Per-item cursors over a randomly ordered opponent list.
+
+    Item ``i``'s pairs are opened in random order, at most ``window`` at a
+    time; a pair is racing while *either* endpoint holds it in its window.
+    ``held`` tracks per (pair, endpoint) holdings so releases are exact.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        n_pairs: int,
+        pair_of: np.ndarray,
+        pair_ends: tuple[np.ndarray, np.ndarray],
+        opponents: list[np.ndarray],
+        window: int,
+    ) -> None:
+        self.pair_of = pair_of  # (n, n) pair-index lookup, -1 on diagonal
+        self.pair_a, self.pair_b = pair_ends
+        self.opponents = opponents  # per item: opponent positions, shuffled
+        self.cursor = np.zeros(n, dtype=np.int64)
+        self.open_count = np.zeros(n, dtype=np.int64)
+        self.held_a = np.zeros(n_pairs, dtype=bool)
+        self.held_b = np.zeros(n_pairs, dtype=bool)
+        self.window = window
+
+    def _hold(self, item: int, idx: int) -> None:
+        if self.pair_a[idx] == item:
+            self.held_a[idx] = True
+        else:
+            self.held_b[idx] = True
+        self.open_count[item] += 1
+
+    def release(self, idx: int) -> None:
+        """Drop all holdings of pair ``idx`` (it resolved or was closed)."""
+        if self.held_a[idx]:
+            self.held_a[idx] = False
+            self.open_count[self.pair_a[idx]] -= 1
+        if self.held_b[idx]:
+            self.held_b[idx] = False
+            self.open_count[self.pair_b[idx]] -= 1
+
+    def refill(self, item: int, pair_resolved: np.ndarray) -> list[int]:
+        """Open pairs for ``item`` until its window is full; returns them."""
+        opened: list[int] = []
+        opps = self.opponents[item]
+        while self.open_count[item] < self.window and self.cursor[item] < len(opps):
+            other = int(opps[self.cursor[item]])
+            self.cursor[item] += 1
+            idx = int(self.pair_of[item, other])
+            if pair_resolved[idx]:
+                continue
+            opened.append(idx)
+            self._hold(item, idx)
+        return opened
+
+
+def pbr_topk(
+    session: "CrowdSession",
+    item_ids: list[int],
+    k: int,
+    *,
+    step: int = DEFAULT_STEP,
+    window: int | None = None,
+) -> TopKOutcome:
+    """Answer the top-k query by preference-based racing over binary votes.
+
+    ``window`` bounds how many pairs each undecided item races at once
+    (default ``2k``); smaller windows trade latency for cost.
+    """
+    ids = validate_query(item_ids, k)
+    n = len(ids)
+    if n == 1:
+        return TopKOutcome(method="pbr", topk=(ids[0],), cost=0, rounds=0)
+    window = max(2 * k, 8) if window is None else int(window)
+    before = session.spent()
+
+    racing = session.fork(
+        oracle=BinaryOracle(session.oracle),
+        estimator="hoeffding",
+        min_workload=2,
+    )
+    rng = racing.rng
+
+    pairs = [(ids[a], ids[b]) for a in range(n) for b in range(a + 1, n)]
+    pair_a = np.asarray([a for a in range(n) for _ in range(a + 1, n)], dtype=np.intp)
+    pair_b = np.asarray([b for a in range(n) for b in range(a + 1, n)], dtype=np.intp)
+    pair_of = np.full((n, n), -1, dtype=np.int64)
+    pair_of[pair_a, pair_b] = np.arange(len(pairs))
+    pair_of[pair_b, pair_a] = np.arange(len(pairs))
+
+    pool = RacingPool(racing, pairs, use_cache=False)
+    pool.status[:] = DEACTIVATED  # all pairs start closed; windows open them
+
+    opponents = []
+    for item in range(n):
+        opps = np.asarray([o for o in range(n) if o != item], dtype=np.int64)
+        rng.shuffle(opps)
+        opponents.append(opps)
+    schedule = _LazySchedule(n, len(pairs), pair_of, (pair_a, pair_b), opponents, window)
+
+    wins = np.zeros(n, dtype=np.int64)
+    losses = np.zeros(n, dtype=np.int64)
+    membership = np.zeros(n, dtype=np.int8)  # +1 in, -1 out, 0 undecided
+    pair_resolved = np.zeros(len(pairs), dtype=bool)
+
+    for item in range(n):
+        for idx in schedule.refill(item, pair_resolved):
+            pool.status[idx] = ACTIVE
+
+    while np.any(pool.status == ACTIVE):
+        resolved = pool.round(step)
+        changed_items: set[int] = set()
+        for idx, code in resolved:
+            pair_resolved[idx] = True
+            schedule.release(idx)
+            a, b = int(pair_a[idx]), int(pair_b[idx])
+            if code > 0:
+                wins[a] += 1
+                losses[b] += 1
+            elif code < 0:
+                wins[b] += 1
+                losses[a] += 1
+            changed_items.update((a, b))
+
+        for item in changed_items:
+            if membership[item] == 0 and wins[item] >= n - k:
+                membership[item] = 1
+            elif membership[item] == 0 and losses[item] >= k:
+                membership[item] = -1
+        if np.all(membership != 0):
+            break
+
+        # Close pairs nobody wants any more, then refill windows.
+        closing = (
+            (pool.status == ACTIVE)
+            & (membership[pair_a] != 0)
+            & (membership[pair_b] != 0)
+        )
+        for idx in np.flatnonzero(closing):
+            pool.status[idx] = DEACTIVATED
+            schedule.release(idx)
+        for item in range(n):
+            if membership[item] != 0:
+                continue
+            for idx in schedule.refill(item, pair_resolved):
+                if pool.status[idx] == DEACTIVATED:
+                    pool.status[idx] = ACTIVE
+
+    # Copeland-style final scores: decided wins, plus the sample-mean lean
+    # of every unresolved pair (0.5 when a pair carries no evidence).
+    scores = wins.astype(np.float64)
+    unresolved = (pool.status != 1) & (pool.status != -1)
+    lean = np.where(pool.n > 0, pool.s1, 0.0)
+    favours_a = unresolved & (lean > 0)
+    favours_b = unresolved & (lean < 0)
+    neutral = unresolved & (lean == 0)
+    np.add.at(scores, pair_a[favours_a], 1.0)
+    np.add.at(scores, pair_b[favours_b], 1.0)
+    np.add.at(scores, pair_a[neutral], 0.5)
+    np.add.at(scores, pair_b[neutral], 0.5)
+
+    # Confirmed members outrank everyone else regardless of raw score.
+    ranking = sorted(
+        range(n), key=lambda pos: (-int(membership[pos] == 1), -scores[pos])
+    )
+    topk = [ids[pos] for pos in ranking[:k]]
+    return measured(
+        "pbr",
+        session,
+        topk,
+        before,
+        extras={
+            "decided_members": int(np.sum(membership == 1)),
+            "decided_out": int(np.sum(membership == -1)),
+            "pairs": len(pairs),
+        },
+    )

@@ -1,0 +1,60 @@
+"""Quick-selection baseline — §4.3 (Hoare's FIND with a crowd).
+
+A random pivot is compared against every other item in one parallel batch;
+the recursion then descends into whichever side must contain the k-th item.
+Ties with the pivot (pairs the budget could not separate) travel with the
+pivot as one indistinguishable block.  Expected workload is
+``O(Nw + kw log k)``, but an unlucky pivot near the true top-k boundary
+makes its ``N-1`` comparisons expensive — the sensitivity the paper calls
+out.  The selected k items are finally ordered by a crowd sort.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.outcomes import Outcome
+from ..core.sorting import odd_even_sort
+from .base import TopKOutcome, measured, validate_query
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..crowd.session import CrowdSession
+
+__all__ = ["quickselect_topk"]
+
+
+def _select(session: "CrowdSession", ids: list[int], k: int) -> list[int]:
+    """The (unordered) top-``k`` subset of ``ids``."""
+    if len(ids) <= k:
+        return list(ids)
+    pivot = int(ids[session.rng.integers(0, len(ids))])
+    others = [item for item in ids if item != pivot]
+    records = session.compare_group([(item, pivot) for item in others])
+
+    winners, losers, block = [], [], [pivot]
+    for rec in records:
+        if rec.outcome is Outcome.LEFT:
+            winners.append(rec.left)
+        elif rec.outcome is Outcome.RIGHT:
+            losers.append(rec.left)
+        else:
+            block.append(rec.left)
+
+    if len(winners) >= k:
+        return _select(session, winners, k)
+    if len(winners) + len(block) >= k:
+        return winners + block[: k - len(winners)]
+    return winners + block + _select(
+        session, losers, k - len(winners) - len(block)
+    )
+
+
+def quickselect_topk(
+    session: "CrowdSession", item_ids: list[int], k: int
+) -> TopKOutcome:
+    """Answer the top-k query with crowd-powered quick selection."""
+    ids = validate_query(item_ids, k)
+    before = session.spent()
+    top = _select(session, ids, k)
+    ranked = odd_even_sort(session, top)
+    return measured("quickselect", session, ranked, before)

@@ -1,0 +1,253 @@
+"""Command-line interface.
+
+Three subcommands cover the common workflows without writing Python:
+
+* ``crowd-topk datasets`` — list the built-in synthetic datasets.
+* ``crowd-topk query`` — answer one top-k query with any method and print
+  the result, its cost, and its quality against the ground truth.
+* ``crowd-topk experiment`` — regenerate one of the paper's tables or
+  figures at a chosen run count.
+
+Examples::
+
+    crowd-topk query --dataset jester --method spr -k 10 --seed 7
+    crowd-topk query --dataset imdb --method heapsort -k 5 --n-items 200
+    crowd-topk experiment table7 --runs 3
+    crowd-topk experiment fig8 --dataset book --runs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from . import __version__
+from .algorithms import ALGORITHMS
+from .datasets import DATASET_NAMES, load_dataset
+from .experiments import (
+    ExperimentParams,
+    run_accuracy,
+    run_appendix_d,
+    run_non_confidence,
+    run_peopleage,
+    run_robustness,
+    run_scalability,
+    run_stein_vs_student,
+    run_summary,
+    run_sweet_spot,
+    run_table3,
+    run_table4,
+    run_table7,
+)
+from .metrics import ndcg_at_k, top_k_precision
+from .planner import plan_query
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="crowd-topk",
+        description="Crowdsourced top-k queries by confidence-aware "
+        "pairwise judgments (SIGMOD'17 reproduction).",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("datasets", help="list the built-in datasets")
+
+    query = commands.add_parser("query", help="answer one top-k query")
+    query.add_argument("--dataset", choices=DATASET_NAMES, default="jester")
+    query.add_argument(
+        "--method", choices=sorted(ALGORITHMS), default="spr"
+    )
+    query.add_argument("-k", type=int, default=10, help="result size")
+    query.add_argument(
+        "--n-items", type=int, default=None, help="random item subset (default: all)"
+    )
+    query.add_argument("--confidence", type=float, default=0.98)
+    query.add_argument("--budget", type=int, default=1000)
+    query.add_argument("--seed", type=int, default=0)
+
+    plan = commands.add_parser(
+        "plan", help="recommend a configuration for a deployment"
+    )
+    plan.add_argument("--n-items", type=int, required=True)
+    plan.add_argument("-k", type=int, required=True)
+    plan.add_argument("--target-precision", type=float, default=0.6)
+    plan.add_argument("--dollars", type=float, default=None,
+                      help="spending cap in US$")
+    plan.add_argument("--score-spread", type=float, default=1.0)
+    plan.add_argument("--noise", type=float, default=1.0)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument(
+        "name",
+        choices=sorted(_EXPERIMENTS),
+        help="which table/figure to regenerate",
+    )
+    experiment.add_argument("--dataset", default=None, help="dataset override")
+    experiment.add_argument("--runs", type=int, default=3, help="runs to average")
+    experiment.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    for name in DATASET_NAMES:
+        dataset = load_dataset(name)
+        print(f"{name:10s} {len(dataset):5d} items  {dataset.description}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    params = ExperimentParams(
+        dataset=args.dataset,
+        n_items=args.n_items,
+        k=args.k,
+        confidence=args.confidence,
+        budget=args.budget,
+        n_runs=1,
+        seed=args.seed,
+    )
+    dataset = load_dataset(args.dataset)
+    working = dataset.sample_items(args.n_items)
+    session = dataset.session(params.comparison_config(), seed=args.seed)
+    algorithm = ALGORITHMS[args.method]
+    outcome = algorithm(session, working.ids.tolist(), args.k)
+
+    print(f"top-{args.k} by {args.method} on {args.dataset} "
+          f"(N={len(working)}, 1-a={args.confidence}, B={args.budget}):")
+    for position, item in enumerate(outcome.topk, start=1):
+        print(f"  {position:3d}. {working.label_of(item)} "
+              f"(true rank {working.rank_of(item)})")
+    print(f"TMC: {outcome.cost:,} microtasks | latency: {outcome.rounds:,} rounds")
+    print(f"NDCG@{args.k}: {ndcg_at_k(working, outcome.topk, args.k):.3f} | "
+          f"precision: {top_k_precision(working, outcome.topk, args.k):.2f}")
+    return 0
+
+
+# experiment name -> callable(args) -> list of reports
+def _exp_table3(args):
+    return [run_table3(n_runs=args.runs, seed=args.seed)]
+
+
+def _exp_table4(args):
+    params = ExperimentParams(
+        dataset=args.dataset or "imdb", n_runs=args.runs, seed=args.seed
+    )
+    return [run_table4(params)]
+
+
+def _exp_table7(args):
+    return [run_table7(n_runs=args.runs, seed=args.seed)]
+
+
+def _sweep(vary):
+    def runner(args):
+        params = ExperimentParams(
+            dataset=args.dataset or "imdb", n_runs=args.runs, seed=args.seed
+        )
+        return list(run_scalability(vary, params))
+
+    return runner
+
+
+def _exp_fig12(args):
+    return list(run_summary(n_runs=args.runs, seed=args.seed))
+
+
+def _exp_fig13(args):
+    params = ExperimentParams(
+        dataset=args.dataset or "imdb", n_runs=args.runs, seed=args.seed
+    )
+    return [run_accuracy(vary, params) for vary in ("k", "n", "budget", "confidence")]
+
+
+def _exp_fig14(args):
+    return [run_non_confidence(n_runs=args.runs, seed=args.seed)]
+
+
+def _exp_fig15(_args):
+    return [run_appendix_d()]
+
+
+def _exp_fig16(args):
+    return [run_sweet_spot(n_runs=args.runs, seed=args.seed)]
+
+
+def _exp_fig17(args):
+    return [
+        run_stein_vs_student(
+            dataset=args.dataset or "imdb", n_runs=args.runs, seed=args.seed
+        )
+    ]
+
+
+def _exp_peopleage(args):
+    return [run_peopleage(n_runs=args.runs, seed=args.seed)]
+
+
+def _exp_robustness(args):
+    return [run_robustness(n_runs=args.runs, seed=args.seed)]
+
+
+_EXPERIMENTS = {
+    "table3": _exp_table3,
+    "table4": _exp_table4,
+    "table7": _exp_table7,
+    "fig8": _sweep("k"),
+    "fig9": _sweep("n"),
+    "fig10": _sweep("confidence"),
+    "fig11": _sweep("budget"),
+    "fig12": _exp_fig12,
+    "fig13": _exp_fig13,
+    "fig14": _exp_fig14,
+    "fig15": _exp_fig15,
+    "fig16": _exp_fig16,
+    "fig17": _exp_fig17,
+    "peopleage": _exp_peopleage,
+    "robustness": _exp_robustness,
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    for report in _EXPERIMENTS[args.name](args):
+        print(report.to_text())
+        print()
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    plan = plan_query(
+        args.n_items,
+        args.k,
+        target_precision=args.target_precision,
+        dollar_budget=args.dollars,
+        score_spread=args.score_spread,
+        noise_sigma=args.noise,
+    )
+    print(plan.summary())
+    print(plan.rationale)
+    return 0 if plan.feasible else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets(args)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""Configuration objects shared across the library.
+
+The defaults mirror Table 6 of the paper (bold values):
+
+=========================  =======================================
+Parameter                  Default
+=========================  =======================================
+query size ``k``           10
+confidence level ``1-α``   0.98
+per-pair budget ``B``      1000 microtasks
+minimum workload ``I``     30 microtasks (statistics cold start)
+sweet-spot range ``c``     1.5
+batch size ``η``           30 microtasks per distribution round
+=========================  =======================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Literal
+
+from .errors import ConfigError
+
+__all__ = ["ComparisonConfig", "SPRConfig", "DEFAULT_COMPARISON", "DEFAULT_SPR"]
+
+EstimatorName = Literal["student", "stein", "hoeffding"]
+
+#: Safety cap used in place of an unbounded per-pair budget (``B = ∞`` in
+#: Table 3).  One million microtasks on one pair is far beyond anything the
+#: paper's settings reach; hitting the cap resolves the pair as a tie.
+UNBOUNDED_BUDGET_CAP = 1_000_000
+
+
+@dataclass(frozen=True)
+class ComparisonConfig:
+    """Parameters of a single comparison process ``COMP(o_i, o_j)``.
+
+    Attributes
+    ----------
+    confidence:
+        The confidence level ``1 - α`` required before a verdict is drawn.
+    budget:
+        Per-pair budget ``B``: the maximum number of microtasks a single
+        comparison may consume before it resolves to a tie.  ``None`` means
+        unbounded (capped at :data:`UNBOUNDED_BUDGET_CAP` for safety).
+    min_workload:
+        Cold-start minimum ``I``; the stopping rule is not consulted before
+        this many samples have been collected (common statistical practice,
+        §3.1 of the paper).
+    batch_size:
+        Microtask distribution batch size ``η`` (§5.5).  Only affects the
+        *latency* ledger: a comparison consuming ``w`` samples takes
+        ``ceil(w / η)`` rounds.
+    estimator:
+        Which sequential tester the comparison uses: ``"student"``
+        (Algorithm 1), ``"stein"`` (Algorithm 5) or ``"hoeffding"`` (the
+        binary-judgment baseline of §3.2).
+    stein_epsilon:
+        The small positive ``ε`` of Algorithm 5 keeping the Stein interval
+        strictly away from the neutral point.
+    """
+
+    confidence: float = 0.98
+    budget: int | None = 1000
+    min_workload: int = 30
+    batch_size: int = 30
+    estimator: EstimatorName = "student"
+    stein_epsilon: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.confidence < 1.0:
+            raise ConfigError(f"confidence must be in (0, 1), got {self.confidence}")
+        if self.min_workload < 2:
+            raise ConfigError(
+                f"min_workload must be >= 2 to estimate a variance, got {self.min_workload}"
+            )
+        if self.budget is not None and self.budget < self.min_workload:
+            raise ConfigError(
+                f"budget ({self.budget}) must be >= min_workload ({self.min_workload})"
+            )
+        if self.batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.estimator not in ("student", "stein", "hoeffding"):
+            raise ConfigError(f"unknown estimator {self.estimator!r}")
+        if self.stein_epsilon <= 0:
+            raise ConfigError(f"stein_epsilon must be > 0, got {self.stein_epsilon}")
+
+    @property
+    def alpha(self) -> float:
+        """The error budget ``α`` of a single comparison."""
+        return 1.0 - self.confidence
+
+    @property
+    def effective_budget(self) -> int:
+        """The per-pair budget with the unbounded case capped."""
+        return UNBOUNDED_BUDGET_CAP if self.budget is None else self.budget
+
+    def rounds_for(self, workload: int) -> int:
+        """Latency rounds needed to distribute ``workload`` microtasks."""
+        return math.ceil(workload / self.batch_size)
+
+    def with_(self, **changes: object) -> "ComparisonConfig":
+        """Return a copy with ``changes`` applied (validated)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class SPRConfig:
+    """Parameters of the Select-Partition-Rank framework (§5).
+
+    Attributes
+    ----------
+    comparison:
+        The per-comparison configuration used throughout the query.
+    sweet_spot:
+        The constant ``c > 1`` bounding the sweet spot
+        ``{o*_k, …, o*_{⌊ck⌋}}`` that reference selection targets.
+    max_reference_changes:
+        Upper bound on how many times partitioning may swap in a better
+        reference (Table 4 sweeps 0..16; 2-4 is the paper's sweet spot).
+    selection_budget_factor:
+        Reference selection solves problem (2) subject to
+        ``m(x-1) + C(bubble, m) <= factor * N`` so that sampling never
+        dominates the ``O(N)`` partitioning cost.
+    selection_comparison_budget:
+        Per-pair budget ``B`` used *during reference selection only*
+        (``None`` = twice the cold-start minimum).  Selection errors only
+        affect efficiency, never correctness (§5.4): two sample maxima the
+        full budget cannot separate are interchangeable as references, so
+        burning ``B`` microtasks to order them buys nothing.  The cap keeps
+        the selection phase at its intended ``O(N)``-comparison weight.
+    min_items_for_selection:
+        Below this many items SPR skips selection/partitioning and sorts
+        directly; sampling machinery has no room to pay off on tiny inputs.
+    """
+
+    comparison: ComparisonConfig = field(default_factory=ComparisonConfig)
+    sweet_spot: float = 1.5
+    max_reference_changes: int = 2
+    selection_budget_factor: float = 1.0
+    selection_comparison_budget: int | None = None
+    min_items_for_selection: int = 8
+
+    def __post_init__(self) -> None:
+        if self.sweet_spot <= 1.0:
+            raise ConfigError(f"sweet_spot c must be > 1, got {self.sweet_spot}")
+        if self.max_reference_changes < 0:
+            raise ConfigError(
+                f"max_reference_changes must be >= 0, got {self.max_reference_changes}"
+            )
+        if self.selection_budget_factor <= 0:
+            raise ConfigError(
+                f"selection_budget_factor must be > 0, got {self.selection_budget_factor}"
+            )
+        if self.min_items_for_selection < 2:
+            raise ConfigError(
+                f"min_items_for_selection must be >= 2, got {self.min_items_for_selection}"
+            )
+        if (
+            self.selection_comparison_budget is not None
+            and self.selection_comparison_budget < self.comparison.min_workload
+        ):
+            raise ConfigError(
+                "selection_comparison_budget must be >= the comparison "
+                f"min_workload ({self.comparison.min_workload})"
+            )
+
+    def with_(self, **changes: object) -> "SPRConfig":
+        """Return a copy with ``changes`` applied (validated)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+DEFAULT_COMPARISON = ComparisonConfig()
+DEFAULT_SPR = SPRConfig()

@@ -1,0 +1,14 @@
+"""Core machinery: items, comparison processes, estimators, and SPR."""
+
+from .cache import JudgmentCache
+from .comparison import Comparator, ComparisonRecord
+from .items import ItemSet
+from .outcomes import Outcome
+
+__all__ = [
+    "Comparator",
+    "ComparisonRecord",
+    "ItemSet",
+    "JudgmentCache",
+    "Outcome",
+]

@@ -1,0 +1,121 @@
+"""Per-pair judgment bags.
+
+All human feedback is stored and reused (§5.3: "the results of comparisons
+are always *reusable*").  The cache keys bags by the unordered pair and
+normalizes the sign: the stored values are always ``v(o_a, o_b)`` with
+``a < b``, so both orientations of a pair share one bag.
+
+Bags grow by amortized-doubling into numpy buffers, keeping appends O(1)
+and reads zero-copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["JudgmentCache"]
+
+
+@dataclass
+class _Bag:
+    """A growable array of canonical-orientation judgments."""
+
+    buffer: np.ndarray
+    size: int
+
+    @classmethod
+    def empty(cls, capacity: int = 32) -> "_Bag":
+        return cls(np.empty(capacity, dtype=np.float64), 0)
+
+    def append(self, values: np.ndarray) -> None:
+        needed = self.size + len(values)
+        if needed > len(self.buffer):
+            capacity = max(needed, 2 * len(self.buffer))
+            grown = np.empty(capacity, dtype=np.float64)
+            grown[: self.size] = self.buffer[: self.size]
+            self.buffer = grown
+        self.buffer[self.size : needed] = values
+        self.size = needed
+
+    def view(self) -> np.ndarray:
+        return self.buffer[: self.size]
+
+
+class JudgmentCache:
+    """Symmetric store of all judgments collected for each item pair."""
+
+    def __init__(self) -> None:
+        self._bags: dict[tuple[int, int], _Bag] = {}
+        self._total = 0
+
+    @staticmethod
+    def _key(i: int, j: int) -> tuple[tuple[int, int], float]:
+        """Canonical key and the sign mapping ``v(i, j) -> stored value``."""
+        i, j = int(i), int(j)
+        if i == j:
+            raise ValueError(f"cannot compare item {i} with itself")
+        return ((i, j), 1.0) if i < j else ((j, i), -1.0)
+
+    def count(self, i: int, j: int) -> int:
+        """Number of judgments stored for the pair ``{i, j}``."""
+        key, _ = self._key(i, j)
+        bag = self._bags.get(key)
+        return bag.size if bag is not None else 0
+
+    def bag(self, i: int, j: int) -> np.ndarray:
+        """All stored judgments oriented as ``v(o_i, o_j)`` (copy-free when
+        the orientation is canonical)."""
+        key, sign = self._key(i, j)
+        bag = self._bags.get(key)
+        if bag is None:
+            return np.empty(0, dtype=np.float64)
+        values = bag.view()
+        return values if sign > 0 else -values
+
+    def append(self, i: int, j: int, values: np.ndarray) -> None:
+        """Store new judgments expressed in the ``v(o_i, o_j)`` orientation."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        key, sign = self._key(i, j)
+        bag = self._bags.get(key)
+        if bag is None:
+            bag = _Bag.empty(max(32, len(values)))
+            self._bags[key] = bag
+        bag.append(values if sign > 0 else -values)
+        self._total += len(values)
+
+    def moments(self, i: int, j: int) -> tuple[int, float, float]:
+        """``(n, mean, variance)`` of the stored bag for ``(i, j)``.
+
+        Variance is the unbiased sample variance (NaN below 2 samples).
+        Used by reference-based sorting to seed the Thurstone order.
+        """
+        values = self.bag(i, j)
+        n = len(values)
+        if n == 0:
+            return 0, float("nan"), float("nan")
+        mean = float(values.mean())
+        var = float(values.var(ddof=1)) if n >= 2 else float("nan")
+        return n, mean, var
+
+    def clear(self) -> None:
+        """Drop every bag."""
+        self._bags.clear()
+        self._total = 0
+
+    @property
+    def total_samples(self) -> int:
+        """Total judgments stored across all pairs."""
+        return self._total
+
+    @property
+    def pair_count(self) -> int:
+        """Number of pairs with at least one stored judgment."""
+        return len(self._bags)
+
+    def pairs(self) -> list[tuple[int, int]]:
+        """All canonical pairs with stored judgments."""
+        return list(self._bags)

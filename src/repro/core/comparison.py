@@ -1,0 +1,148 @@
+"""The comparison process ``COMP(o_i, o_j)`` (§3.1, Algorithms 1 and 5).
+
+A :class:`Comparator` progressively buys preference judgments for a pair
+until its sequential tester reaches a verdict at confidence ``1 - α`` or the
+per-pair budget ``B`` runs out (tie).  Judgments are drawn through a
+judgment oracle and every purchased sample is stored in a
+:class:`~repro.core.cache.JudgmentCache`, so later comparisons of the same
+pair replay the stored bag for free before buying anything new.
+
+Microtasks are published in batches of ``η`` (the latency model of §5.5)
+but the stopping rule is evaluated after *every* sample inside a batch, so
+the monetary cost is identical to the strictly sequential Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..config import ComparisonConfig
+from .cache import JudgmentCache
+from .estimators import make_tester
+from .outcomes import Outcome
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from ..crowd.oracle import JudgmentOracle
+
+__all__ = ["Comparator", "ComparisonRecord"]
+
+
+@dataclass(frozen=True)
+class ComparisonRecord:
+    """Everything a comparison process concluded and consumed.
+
+    Attributes
+    ----------
+    left, right:
+        The compared item ids, in the orientation of the call.
+    outcome:
+        :class:`Outcome` of the process (``LEFT``/``RIGHT``/``TIE``).
+    workload:
+        Total samples backing the verdict, ``w_{i,j}`` — including replayed
+        cached judgments.
+    cost:
+        *New* microtasks purchased by this call (0 when fully cached).
+    rounds:
+        Batch-distribution rounds this call occupied the crowd for.
+    mean, std:
+        Sample moments of the judgments backing the verdict
+        (std is NaN below 2 samples).
+    """
+
+    left: int
+    right: int
+    outcome: Outcome
+    workload: int
+    cost: int
+    rounds: int
+    mean: float
+    std: float
+
+    @property
+    def winner(self) -> int | None:
+        """The preferred item id, or ``None`` on a tie."""
+        if self.outcome is Outcome.LEFT:
+            return self.left
+        if self.outcome is Outcome.RIGHT:
+            return self.right
+        return None
+
+    @property
+    def loser(self) -> int | None:
+        """The rejected item id, or ``None`` on a tie."""
+        if self.outcome is Outcome.LEFT:
+            return self.right
+        if self.outcome is Outcome.RIGHT:
+            return self.left
+        return None
+
+    @property
+    def from_cache(self) -> bool:
+        """Whether the verdict came entirely from replayed judgments."""
+        return self.cost == 0 and self.workload > 0
+
+
+class Comparator:
+    """Runs comparison processes against an oracle with a shared cache."""
+
+    def __init__(
+        self,
+        oracle: "JudgmentOracle",
+        config: ComparisonConfig | None = None,
+        cache: JudgmentCache | None = None,
+    ) -> None:
+        self.oracle = oracle
+        self.config = config if config is not None else ComparisonConfig()
+        self.cache = cache if cache is not None else JudgmentCache()
+        if self.config.estimator == "hoeffding" and oracle.value_range is None:
+            raise ValueError(
+                "the hoeffding estimator requires an oracle with bounded support"
+            )
+
+    def compare(
+        self, i: int, j: int, rng: np.random.Generator
+    ) -> ComparisonRecord:
+        """Run ``COMP(o_i, o_j)``: replay the cache, then buy until a verdict.
+
+        Returns a :class:`ComparisonRecord`; never raises on indecision —
+        budget exhaustion is the tie outcome, as in the paper.
+        """
+        config = self.config
+        tester = make_tester(config, self.oracle.value_range)
+        budget = config.effective_budget
+
+        decision: int | None = None
+        cached = self.cache.bag(i, j)
+        if cached.size:
+            _, decision = tester.scan(cached[:budget])
+
+        cost = 0
+        rounds = 0
+        while decision is None and tester.n < budget:
+            chunk = min(config.batch_size, budget - tester.n)
+            values = self.oracle.draw(i, j, chunk, rng)
+            consumed, decision = tester.scan(values)
+            self.cache.append(i, j, values[:consumed])
+            cost += consumed
+            rounds += 1
+
+        state = tester.state
+        std = state.std if state.n >= 2 else math.nan
+        return ComparisonRecord(
+            left=int(i),
+            right=int(j),
+            outcome=Outcome.from_code(decision),
+            workload=state.n,
+            cost=cost,
+            rounds=rounds,
+            mean=state.mean if state.n else math.nan,
+            std=std,
+        )
+
+    def moments(self, i: int, j: int) -> tuple[int, float, float]:
+        """``(n, mean, variance)`` of the stored bag for ``(i, j)``."""
+        return self.cache.moments(i, j)

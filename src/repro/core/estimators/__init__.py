@@ -1,0 +1,67 @@
+"""Sequential confidence testers used by the comparison process.
+
+Three testers are provided, matching the paper:
+
+* :class:`StudentTester` — Algorithm 1, Student's t confidence interval.
+* :class:`SteinTester` — Algorithm 5, Stein's two-stage estimation made
+  progressive.
+* :class:`HoeffdingTester` — the distribution-free interval used for
+  pairwise *binary* judgments (§3.2, Appendix D).
+
+All testers share the :class:`SequentialTester` interface: push samples,
+ask for a ternary :meth:`~SequentialTester.decision`.  Each also exposes a
+vectorized ``decision_codes`` classmethod over cumulative-moment arrays so
+that racing pools can evaluate thousands of stopping rules per round
+without Python-level loops.
+"""
+
+from ...config import ComparisonConfig
+from .base import MomentState, SequentialTester
+from .hoeffding import HoeffdingTester
+from .stein import SteinTester
+from .student import StudentTester
+
+__all__ = [
+    "MomentState",
+    "SequentialTester",
+    "StudentTester",
+    "SteinTester",
+    "HoeffdingTester",
+    "make_tester",
+    "TESTER_CLASSES",
+]
+
+TESTER_CLASSES = {
+    "student": StudentTester,
+    "stein": SteinTester,
+    "hoeffding": HoeffdingTester,
+}
+
+
+def make_tester(
+    config: ComparisonConfig, value_range: float | None = None
+) -> SequentialTester:
+    """Instantiate the tester named by ``config.estimator``.
+
+    ``value_range`` (the width of the sample support) is required by the
+    Hoeffding tester and ignored by the parametric ones.
+    """
+    cls = TESTER_CLASSES[config.estimator]
+    if cls is HoeffdingTester:
+        if value_range is None:
+            raise ValueError(
+                "the hoeffding estimator needs the sample value_range "
+                "(e.g. 2.0 for binary ±1 judgments)"
+            )
+        return HoeffdingTester(
+            alpha=config.alpha,
+            min_workload=config.min_workload,
+            value_range=value_range,
+        )
+    if cls is SteinTester:
+        return SteinTester(
+            alpha=config.alpha,
+            min_workload=config.min_workload,
+            epsilon=config.stein_epsilon,
+        )
+    return StudentTester(alpha=config.alpha, min_workload=config.min_workload)

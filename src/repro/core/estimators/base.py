@@ -1,0 +1,175 @@
+"""Shared state and interface for sequential confidence testers."""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MomentState", "SequentialTester", "sample_variance"]
+
+
+def sample_variance(n: np.ndarray, mean: np.ndarray, s2: np.ndarray) -> np.ndarray:
+    """Unbiased sample variance from cumulative moments, vectorized.
+
+    ``n`` sample counts, ``mean`` sample means, ``s2`` sums of squares.
+    Entries with ``n < 2`` come back NaN; tiny negative values from
+    floating-point cancellation are clipped to 0.
+    """
+    n = np.asarray(n, dtype=np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        var = (s2 - n * mean * mean) / (n - 1.0)
+    var = np.where(n >= 2, np.maximum(var, 0.0), np.nan)
+    return var
+
+
+@dataclass
+class MomentState:
+    """Running first/second moments of a sample stream.
+
+    Keeps ``n``, ``Σv`` and ``Σv²`` so that mean and unbiased variance are
+    O(1) to read and O(1) to update per sample — the representation every
+    stopping rule in the paper needs and nothing more.
+    """
+
+    n: int = 0
+    s1: float = 0.0
+    s2: float = 0.0
+
+    def push(self, value: float) -> None:
+        """Account one sample."""
+        self.n += 1
+        self.s1 += value
+        self.s2 += value * value
+
+    def push_many(self, values: np.ndarray) -> None:
+        """Account a batch of samples."""
+        values = np.asarray(values, dtype=np.float64)
+        self.n += values.size
+        self.s1 += float(values.sum())
+        self.s2 += float(np.square(values).sum())
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (NaN when empty)."""
+        return self.s1 / self.n if self.n else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (NaN below 2 samples)."""
+        if self.n < 2:
+            return math.nan
+        var = (self.s2 - self.n * self.mean * self.mean) / (self.n - 1)
+        return max(var, 0.0)
+
+    @property
+    def std(self) -> float:
+        """Unbiased sample standard deviation (NaN below 2 samples)."""
+        var = self.variance
+        return math.sqrt(var) if not math.isnan(var) else math.nan
+
+    def copy(self) -> "MomentState":
+        return MomentState(self.n, self.s1, self.s2)
+
+
+@dataclass
+class SequentialTester(ABC):
+    """A progressive stopping rule over a stream of preference samples.
+
+    Subclasses implement :meth:`decision_codes`, a *vectorized* evaluation
+    of the stopping rule over arrays of cumulative moments.  The streaming
+    methods (:meth:`push` / :meth:`decision`) and the chunked
+    :meth:`scan` are derived from it, so scalar and vectorized paths can
+    never disagree.
+
+    Decision encoding: ``+1`` concludes the left item wins (``μ > 0``),
+    ``-1`` the right item wins (``μ < 0``), ``0`` / ``None`` undecided.
+    """
+
+    alpha: float
+    min_workload: int
+    state: MomentState = field(default_factory=MomentState, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {self.alpha}")
+        if self.min_workload < 2:
+            raise ValueError(f"min_workload must be >= 2, got {self.min_workload}")
+
+    # ------------------------------------------------------------------
+    # vectorized core (subclass responsibility)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def decision_codes(
+        self, n: np.ndarray, mean: np.ndarray, s2: np.ndarray
+    ) -> np.ndarray:
+        """Evaluate the stopping rule elementwise over cumulative moments.
+
+        Parameters are aligned arrays of sample counts, sample means and
+        sums of squares.  Returns an int8 array of codes in ``{-1, 0, +1}``.
+        Implementations must not apply the ``min_workload`` gate — the base
+        class handles it uniformly.
+        """
+
+    # ------------------------------------------------------------------
+    # derived streaming interface
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget all samples."""
+        self.state = MomentState()
+
+    def push(self, value: float) -> None:
+        """Feed one sample."""
+        self.state.push(value)
+
+    def push_many(self, values: np.ndarray) -> None:
+        """Feed a batch of samples without consulting the stopping rule."""
+        self.state.push_many(values)
+
+    def decision(self) -> int | None:
+        """Current verdict: ``+1``, ``-1`` or ``None`` (keep sampling).
+
+        The rule is gated on the cold-start minimum workload ``I``.
+        """
+        if self.state.n < self.min_workload:
+            return None
+        code = int(
+            self.decision_codes(
+                np.asarray([self.state.n]),
+                np.asarray([self.state.mean]),
+                np.asarray([self.state.s2]),
+            )[0]
+        )
+        return code if code else None
+
+    def scan(self, values: np.ndarray) -> tuple[int, int | None]:
+        """Feed ``values`` one at a time, stopping at the first verdict.
+
+        Returns ``(consumed, decision)`` where ``consumed`` is how many of
+        ``values`` were actually used; the tester state advances by exactly
+        those samples, reproducing the strictly sequential Algorithm 1/5
+        semantics at vectorized speed.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return 0, self.decision()
+        n = self.state.n + np.arange(1, values.size + 1)
+        s1 = self.state.s1 + np.cumsum(values)
+        s2 = self.state.s2 + np.cumsum(np.square(values))
+        codes = self.decision_codes(n, s1 / n, s2)
+        codes = np.where(n >= self.min_workload, codes, 0)
+        hits = np.flatnonzero(codes)
+        if hits.size == 0:
+            self.state.push_many(values)
+            return values.size, None
+        stop = int(hits[0])
+        self.state = MomentState(int(n[stop]), float(s1[stop]), float(s2[stop]))
+        return stop + 1, int(codes[stop])
+
+    # convenience ------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of samples consumed so far."""
+        return self.state.n

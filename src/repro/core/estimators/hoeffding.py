@@ -1,0 +1,43 @@
+"""Hoeffding sequential tester for bounded (e.g. binary ±1) judgments.
+
+This is the distribution-free interval the paper evaluates pairwise
+*binary* judgments with (§3.2, Appendix D).  For samples supported on an
+interval of width ``R``, Hoeffding's inequality gives the ``1 - α``
+confidence half-width ``R · sqrt(ln(2/α) / (2n))``; for binary ±1 votes
+(``R = 2``) the implied stopping sample size matches Equation (3),
+``n_b = (2/μ̃²)·ln(2/α)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import SequentialTester
+
+__all__ = ["HoeffdingTester"]
+
+
+@dataclass
+class HoeffdingTester(SequentialTester):
+    """Sequential Hoeffding test of ``μ = 0`` for samples of bounded range."""
+
+    value_range: float = 2.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.value_range <= 0:
+            raise ValueError(f"value_range must be > 0, got {self.value_range}")
+
+    def decision_codes(
+        self, n: np.ndarray, mean: np.ndarray, s2: np.ndarray
+    ) -> np.ndarray:
+        n = np.asarray(n, dtype=np.float64)
+        mean = np.asarray(mean, dtype=np.float64)
+        half = self.value_range * np.sqrt(math.log(2.0 / self.alpha) / (2.0 * n))
+        codes = np.zeros(mean.shape, dtype=np.int8)
+        codes[mean - half > 0.0] = 1
+        codes[mean + half < 0.0] = -1
+        return codes

@@ -1,0 +1,54 @@
+"""Student's t sequential tester — Algorithm 1 of the paper.
+
+After each sample the ``1 - α`` confidence interval
+
+``[μ̄ − t_{α/2, n-1}·S/√n,  μ̄ + t_{α/2, n-1}·S/√n]``
+
+is checked against the neutral value 0; the comparison concludes as soon as
+the interval excludes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...stats.tdist import t_quantiles
+from .base import SequentialTester, sample_variance
+
+__all__ = ["StudentTester"]
+
+
+@dataclass
+class StudentTester(SequentialTester):
+    """Sequential two-sided t test of ``μ = 0`` at confidence ``1 - α``."""
+
+    def decision_codes(
+        self, n: np.ndarray, mean: np.ndarray, s2: np.ndarray
+    ) -> np.ndarray:
+        n = np.asarray(n)
+        mean = np.asarray(mean, dtype=np.float64)
+        var = sample_variance(n, mean, np.asarray(s2, dtype=np.float64))
+        max_df = int(np.max(n)) - 1 if n.size else 1
+        tq = t_quantiles(self.alpha, max(max_df, 1))
+        df = np.clip(n - 1, 0, len(tq) - 1).astype(np.intp)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            margin = tq[df] * np.sqrt(var / n)
+        codes = np.zeros(mean.shape, dtype=np.int8)
+        valid = (n >= 2) & np.isfinite(margin)
+        codes[valid & (mean - margin > 0.0)] = 1
+        codes[valid & (mean + margin < 0.0)] = -1
+        return codes
+
+    def interval(self) -> tuple[float, float]:
+        """Current confidence interval for the preference mean.
+
+        Mostly useful for inspection and testing; requires >= 2 samples.
+        """
+        st = self.state
+        if st.n < 2:
+            raise ValueError("need at least 2 samples for an interval")
+        tq = t_quantiles(self.alpha, st.n - 1)[st.n - 1]
+        margin = tq * st.std / np.sqrt(st.n)
+        return st.mean - margin, st.mean + margin

@@ -1,0 +1,146 @@
+"""Items and ground-truth orderings.
+
+An :class:`ItemSet` carries the *global* item identifiers of a dataset
+together with their hidden scores.  Algorithms only ever see the ids — the
+scores exist so that the simulator can answer microtasks and so that metrics
+can grade results.  Ties in the hidden score are broken by ascending id,
+giving every experiment a single well-defined total order ``Ω``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DatasetError
+
+__all__ = ["ItemSet"]
+
+
+@dataclass(frozen=True)
+class ItemSet:
+    """An immutable collection of items with hidden ground-truth scores.
+
+    Attributes
+    ----------
+    ids:
+        Global item identifiers (unique non-negative ints).
+    scores:
+        Hidden scores aligned with ``ids``; higher is better.
+    labels:
+        Optional human-readable names aligned with ``ids``.
+    """
+
+    ids: np.ndarray
+    scores: np.ndarray
+    labels: tuple[str, ...] | None = None
+    _rank_by_id: dict[int, int] = field(init=False, repr=False, compare=False)
+    _order: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        ids = np.array(self.ids, dtype=np.int64, copy=True)
+        scores = np.array(self.scores, dtype=np.float64, copy=True)
+        if ids.ndim != 1 or scores.ndim != 1 or len(ids) != len(scores):
+            raise DatasetError("ids and scores must be 1-D arrays of equal length")
+        if len(ids) == 0:
+            raise DatasetError("an ItemSet cannot be empty")
+        if len(np.unique(ids)) != len(ids):
+            raise DatasetError("item ids must be unique")
+        if np.any(ids < 0):
+            raise DatasetError("item ids must be non-negative")
+        if not np.all(np.isfinite(scores)):
+            raise DatasetError("item scores must be finite")
+        if self.labels is not None and len(self.labels) != len(ids):
+            raise DatasetError("labels must align with ids")
+        ids.flags.writeable = False
+        scores.flags.writeable = False
+        object.__setattr__(self, "ids", ids)
+        object.__setattr__(self, "scores", scores)
+        # Ω: descending score, ascending id on ties.
+        order = np.lexsort((ids, -scores))
+        true_order = ids[order]
+        true_order.flags.writeable = False
+        object.__setattr__(self, "_order", true_order)
+        object.__setattr__(
+            self,
+            "_rank_by_id",
+            {int(item): rank + 1 for rank, item in enumerate(true_order)},
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __contains__(self, item_id: int) -> bool:
+        return int(item_id) in self._rank_by_id
+
+    @property
+    def true_order(self) -> np.ndarray:
+        """All ids sorted by the ground-truth total order Ω (best first)."""
+        return self._order
+
+    def true_top_k(self, k: int) -> np.ndarray:
+        """The ids of the true top-``k`` items (best first)."""
+        if not 1 <= k <= len(self):
+            raise DatasetError(f"k must be in [1, {len(self)}], got {k}")
+        return self._order[:k]
+
+    def rank_of(self, item_id: int) -> int:
+        """1-based rank of ``item_id`` in Ω (1 = best)."""
+        try:
+            return self._rank_by_id[int(item_id)]
+        except KeyError:
+            raise DatasetError(f"item {item_id} is not in this ItemSet") from None
+
+    def score_of(self, item_id: int) -> float:
+        """Hidden score of ``item_id``."""
+        idx = np.flatnonzero(self.ids == int(item_id))
+        if idx.size == 0:
+            raise DatasetError(f"item {item_id} is not in this ItemSet")
+        return float(self.scores[idx[0]])
+
+    def label_of(self, item_id: int) -> str:
+        """Human-readable name of ``item_id`` (falls back to ``item <id>``)."""
+        if self.labels is None:
+            return f"item {int(item_id)}"
+        idx = int(np.flatnonzero(self.ids == int(item_id))[0])
+        return self.labels[idx]
+
+    # ------------------------------------------------------------------
+    def subset(
+        self, n: int, rng: np.random.Generator | None = None
+    ) -> "ItemSet":
+        """A sub-collection of ``n`` items (random without replacement).
+
+        Used by the item-cardinality sweeps (Figure 9): the ground-truth
+        order of the subset is Ω restricted to the chosen ids.  With
+        ``rng=None`` the first ``n`` ids (by id order) are taken, which is
+        deterministic but arbitrary with respect to quality.
+        """
+        if not 1 <= n <= len(self):
+            raise DatasetError(f"subset size must be in [1, {len(self)}], got {n}")
+        if n == len(self):
+            return self
+        if rng is None:
+            pick = np.arange(n)
+        else:
+            pick = rng.choice(len(self), size=n, replace=False)
+        labels = (
+            tuple(self.labels[i] for i in pick) if self.labels is not None else None
+        )
+        return ItemSet(self.ids[pick].copy(), self.scores[pick].copy(), labels)
+
+    def restrict(self, item_ids: Sequence[int]) -> "ItemSet":
+        """The sub-collection holding exactly ``item_ids``."""
+        wanted = np.asarray(item_ids, dtype=np.int64)
+        pos = {int(i): idx for idx, i in enumerate(self.ids)}
+        try:
+            pick = np.asarray([pos[int(i)] for i in wanted], dtype=np.intp)
+        except KeyError as exc:
+            raise DatasetError(f"item {exc.args[0]} is not in this ItemSet") from None
+        labels = (
+            tuple(self.labels[i] for i in pick) if self.labels is not None else None
+        )
+        return ItemSet(self.ids[pick].copy(), self.scores[pick].copy(), labels)

@@ -1,0 +1,40 @@
+"""Comparison outcomes.
+
+A comparison process ``COMP(o_i, o_j)`` ends in one of three ways: the left
+item wins (``o_i ≻ o_j``), the right item wins (``o_i ≺ o_j``), or the pair
+is indistinguishable under the per-pair budget (``o_i ∼ o_j``).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["Outcome"]
+
+
+class Outcome(Enum):
+    """Ternary verdict of a pairwise comparison."""
+
+    LEFT = 1  #: the left item wins: o_i ≻ o_j
+    RIGHT = -1  #: the right item wins: o_i ≺ o_j
+    TIE = 0  #: indistinguishable under the budget: o_i ∼ o_j
+
+    @classmethod
+    def from_code(cls, code: int | None) -> "Outcome":
+        """Map a tester decision code (``+1``/``-1``/``0``/``None``)."""
+        if code is None or code == 0:
+            return cls.TIE
+        return cls.LEFT if code > 0 else cls.RIGHT
+
+    def flipped(self) -> "Outcome":
+        """The same verdict seen from the opposite side of the pair."""
+        if self is Outcome.LEFT:
+            return Outcome.RIGHT
+        if self is Outcome.RIGHT:
+            return Outcome.LEFT
+        return Outcome.TIE
+
+    @property
+    def decided(self) -> bool:
+        """Whether the comparison separated the pair."""
+        return self is not Outcome.TIE

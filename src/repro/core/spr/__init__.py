@@ -1,0 +1,18 @@
+"""The Select-Partition-Rank framework (§5 of the paper)."""
+
+from .partition import PartitionResult, partition
+from .rank import reference_sort, thurstone_order
+from .select import SelectionResult, select_reference
+from .spr import SPRResult, expected_precision_lower_bound, spr_topk
+
+__all__ = [
+    "PartitionResult",
+    "SPRResult",
+    "SelectionResult",
+    "expected_precision_lower_bound",
+    "partition",
+    "reference_sort",
+    "select_reference",
+    "spr_topk",
+    "thurstone_order",
+]

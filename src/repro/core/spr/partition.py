@@ -1,0 +1,158 @@
+"""Reference-based partitioning — Algorithm 4 (§5.2).
+
+All remaining items race against the reference in lockstep batches of
+microtasks (one :class:`~repro.crowd.pool.RacingPool` round = one latency
+round), harvesting winners and losers as their comparisons resolve and
+deferring the difficult pairs.  The deferment enables the *reference
+change* optimization: as soon as ``k`` winners are confirmed, the k-th best
+winner — provably between ``o*_k`` and the current reference (Lemma 4) —
+takes over as reference, and the still-undecided items restart against it.
+
+Following Line 13 of Algorithm 4 the final reference joins the winners when
+fewer than ``k`` of them were confirmed; otherwise it is returned among the
+losers (``k`` confirmed items already beat it).  The three groups therefore
+always partition the input exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ...crowd.pool import RacingPool
+from ...errors import AlgorithmError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...crowd.session import CrowdSession
+
+__all__ = ["PartitionResult", "partition"]
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """Outcome of reference-based partitioning.
+
+    ``winners`` are confirmed superior to the (final) reference — with the
+    reference appended when fewer than ``k`` items beat it; ``ties`` could
+    not be separated from it within the per-pair budget; ``losers`` are
+    confirmed inferior, including any replaced references.  The three lists
+    partition the input item set.
+    """
+
+    winners: tuple[int, ...]
+    ties: tuple[int, ...]
+    losers: tuple[int, ...]
+    reference: int
+    reference_changes: int
+    cost: int
+    rounds: int
+
+    @property
+    def reference_in_winners(self) -> bool:
+        """Whether Line 13 added the final reference back into winners."""
+        return self.reference in self.winners
+
+
+def _kth_best_winner(
+    session: "CrowdSession", winners: list[int], reference: int, k: int
+) -> int:
+    """The k-th best confirmed winner, judged by observed means vs ``r``.
+
+    Every winner's bag against the reference is already paid for; the k-th
+    largest sample mean is the free estimate of the k-th best item.
+    """
+    means = []
+    for item in winners:
+        _, mean, _ = session.moments(item, reference)
+        means.append(mean if math.isfinite(mean) else math.inf)
+    ranked = sorted(zip(means, winners), key=lambda pair: -pair[0])
+    return ranked[k - 1][1]
+
+
+def partition(
+    session: "CrowdSession",
+    item_ids: list[int],
+    k: int,
+    reference: int,
+    *,
+    max_reference_changes: int = 2,
+    step: int | None = None,
+) -> PartitionResult:
+    """Partition ``item_ids`` against ``reference`` into winners/ties/losers.
+
+    ``step`` is the per-round microtask batch per undecided pair (defaults
+    to the session's batch size η).  ``max_reference_changes`` bounds the
+    Table-4 reference-change optimization; 0 reproduces plain Algorithm 4
+    without Lines 9-12.
+    """
+    ids = [int(i) for i in item_ids]
+    reference = int(reference)
+    if reference not in ids:
+        raise AlgorithmError(f"reference {reference} is not among the items")
+    if not 1 <= k <= len(ids):
+        raise AlgorithmError(f"k must be in [1, {len(ids)}], got {k}")
+    if max_reference_changes < 0:
+        raise AlgorithmError("max_reference_changes must be >= 0")
+
+    cost_before, rounds_before = session.spent()
+    winners: list[int] = []
+    losers: list[int] = []
+    ties: list[int] = []
+    changes = 0
+
+    pending = [i for i in ids if i != reference]
+    pool = RacingPool(session, [(item, reference) for item in pending])
+    resolved_backlog = list(pool.initial_decisions)
+
+    while True:
+        for idx, code in resolved_backlog:
+            item = int(pool.left[idx])
+            if code > 0:
+                winners.append(item)
+            elif code < 0:
+                losers.append(item)
+            else:
+                ties.append(item)
+        resolved_backlog = []
+
+        # Lines 9-12: swap in a better reference once k winners exist and
+        # undecided pairs remain to benefit from it.
+        undecided = len(pool.active_indices) + len(ties)
+        if (
+            len(winners) >= k
+            and changes < max_reference_changes
+            and undecided > 0
+        ):
+            new_reference = _kth_best_winner(session, winners, reference, k)
+            losers.append(reference)
+            winners.remove(new_reference)
+            restart = [int(pool.left[i]) for i in pool.active_indices] + ties
+            ties = []
+            reference = new_reference
+            changes += 1
+            pool = RacingPool(session, [(item, reference) for item in restart])
+            resolved_backlog = list(pool.initial_decisions)
+            continue
+
+        if pool.is_done:
+            break
+        resolved_backlog = pool.round(step)
+
+    # Line 13: the reference is itself a top-k candidate when fewer than k
+    # items beat it; otherwise it is dominated by k confirmed items.
+    if len(winners) < k:
+        winners.append(reference)
+    else:
+        losers.append(reference)
+
+    cost_after, rounds_after = session.spent()
+    return PartitionResult(
+        winners=tuple(winners),
+        ties=tuple(ties),
+        losers=tuple(losers),
+        reference=reference,
+        reference_changes=changes,
+        cost=cost_after - cost_before,
+        rounds=rounds_after - rounds_before,
+    )

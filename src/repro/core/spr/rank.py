@@ -1,0 +1,92 @@
+"""Reference-based sorting — §5.3.
+
+The top-k candidates all carry sample bags against the shared reference
+``r``, so Thurstone's Case-V calculation orders them *for free*:
+``Pr{μ_{i,r} > μ_{j,r}} = Φ((μ̂_i − μ̂_j)/σ̂)`` ranks ``i`` above ``j``
+exactly when its observed mean against ``r`` is larger.  That almost-sorted
+order seeds a best-case-linear crowd bubble sort (the parallel odd-even
+form), whose re-comparisons are largely served from the judgment cache.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from ...stats.thurstone import win_probability
+from ..sorting import odd_even_sort
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...crowd.session import CrowdSession
+
+__all__ = ["thurstone_order", "pairwise_win_probability", "reference_sort"]
+
+
+def thurstone_order(
+    session: "CrowdSession", candidate_ids: list[int], reference: int
+) -> list[int]:
+    """Order candidates by their observed means against ``reference``.
+
+    This is the ranking induced by pairwise Thurstone win probabilities:
+    ``win_probability`` is monotone in the mean difference, so sorting by
+    means realizes it without further microtasks.  Candidates without a
+    bag against the reference (recursion results, randomly promoted ties)
+    sort as if neutral (mean 0); the reference itself is neutral by
+    definition.
+    """
+    reference = int(reference)
+
+    def observed_mean(item: int) -> float:
+        if item == reference:
+            return 0.0
+        _, mean, _ = session.moments(item, reference)
+        return mean if math.isfinite(mean) else 0.0
+
+    return sorted(
+        (int(i) for i in candidate_ids), key=lambda item: -observed_mean(item)
+    )
+
+
+def pairwise_win_probability(
+    session: "CrowdSession", i: int, j: int, reference: int
+) -> float:
+    """Thurstone ``Pr{o_i ≻ o_j}`` from the two bags against ``reference``.
+
+    Exposed for inspection and for the examples; the sort itself only needs
+    the induced order.  The variance fed to Thurstone's formula is the
+    variance *of the mean* (``S²/n``) of each bag; items without a bag
+    contribute a neutral mean with zero spread, so the probability against
+    them reduces to a mean-sign comparison.
+    """
+    reference = int(reference)
+
+    def bag_stats(item: int) -> tuple[float, float]:
+        if int(item) == reference:
+            return 0.0, 0.0
+        n, mean, var = session.moments(int(item), reference)
+        if n == 0 or not math.isfinite(mean):
+            return 0.0, 0.0
+        if n < 2 or not math.isfinite(var):
+            return mean, 0.0
+        return mean, var / n
+
+    mean_i, var_i = bag_stats(i)
+    mean_j, var_j = bag_stats(j)
+    return win_probability(mean_i, var_i, mean_j, var_j)
+
+
+def reference_sort(
+    session: "CrowdSession",
+    candidate_ids: list[int],
+    reference: int | None = None,
+) -> list[int]:
+    """Sort candidates best-first, seeded by the Thurstone order.
+
+    With ``reference=None`` (no shared bags — e.g. tiny inputs that skipped
+    partitioning) the sort starts from the given order.
+    """
+    ids = [int(i) for i in candidate_ids]
+    if len(ids) <= 1:
+        return ids
+    initial = thurstone_order(session, ids, reference) if reference is not None else ids
+    return odd_even_sort(session, ids, initial_order=initial)

@@ -1,0 +1,95 @@
+"""Reference selection — Algorithm 3 and optimization problem (2).
+
+The goal is an item inside the *sweet spot* ``{o*_k, …, o*_{⌊ck⌋}}``: good
+enough to prune every non-result item, but not so good that real top-k
+items get pruned against it.  The procedure:
+
+1. Solve problem (2) for the sampling plan ``(x, m)`` maximizing the
+   Lemma-2 success probability under an ``O(N)`` comparison budget.
+2. Run ``m`` independent sampling procedures of ``x`` uniform draws (with
+   replacement) each; find each procedure's best item by a parallel
+   knockout tournament.
+3. Return the median of the ``m`` maxima, found by the partial bubble sort
+   of Appendix C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ...errors import AlgorithmError
+from ...stats.reference import SamplingPlan, solve_sampling_plan
+from ..sorting import crowd_max_many, median_of_multiset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...crowd.session import CrowdSession
+
+__all__ = ["SelectionResult", "select_reference"]
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of reference selection.
+
+    Attributes
+    ----------
+    reference:
+        The selected reference item id (median of the sample maxima).
+    plan:
+        The sampling plan ``(x, m)`` the selection executed.
+    maxima:
+        The ``m`` per-procedure best items (duplicates possible — strong
+        items win several procedures).
+    cost, rounds:
+        Microtasks and latency rounds the selection consumed.
+    """
+
+    reference: int
+    plan: SamplingPlan
+    maxima: tuple[int, ...]
+    cost: int
+    rounds: int
+
+
+def select_reference(
+    session: "CrowdSession",
+    item_ids: list[int],
+    k: int,
+    *,
+    sweet_spot: float = 1.5,
+    budget_factor: float = 1.0,
+) -> SelectionResult:
+    """Pick a reference item expected to land in the sweet spot.
+
+    ``budget_factor`` scales the comparison budget of problem (2) relative
+    to ``N`` (the partitioning cost the selection must not dominate).
+    """
+    ids = [int(i) for i in item_ids]
+    n = len(ids)
+    if n < 2:
+        raise AlgorithmError("reference selection needs at least 2 items")
+    if not 1 <= k < n:
+        raise AlgorithmError(f"k must be in [1, {n - 1}], got {k}")
+
+    plan = solve_sampling_plan(n, k, sweet_spot, int(budget_factor * n))
+    cost_before, rounds_before = session.spent()
+
+    id_array = np.asarray(ids, dtype=np.int64)
+    samples = [
+        id_array[session.rng.integers(0, n, size=plan.x)].tolist()
+        for _ in range(plan.m)
+    ]
+    maxima = crowd_max_many(session, samples)
+    reference = maxima[0] if plan.m == 1 else median_of_multiset(session, maxima)
+
+    cost_after, rounds_after = session.spent()
+    return SelectionResult(
+        reference=int(reference),
+        plan=plan,
+        maxima=tuple(maxima),
+        cost=cost_after - cost_before,
+        rounds=rounds_after - rounds_before,
+    )

@@ -1,0 +1,178 @@
+"""A small discrete-event model of a crowdsourcing marketplace.
+
+The timeline module converts rounds to hours with a closed form; this
+module *simulates* the platform clearing each batch: a finite worker pool,
+per-task pickup delays, skewed answer times (lognormal — a few workers
+always take much longer), and task abandonment with reposting.  A round
+completes when its last answer lands; rounds are sequential (§5.5).
+
+The scheduler is an exact makespan simulation: each task occupies one
+worker for ``pickup + answer`` seconds, abandoned tasks go back into the
+queue, and a round's duration is the time its final task completes.  With
+``n_workers`` machines and per-round task counts from a real session, the
+result is a defensible wall-clock estimate with queueing effects the
+closed form cannot capture.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..rng import make_rng
+from .timeline import PREFERENCE_TASK_SECONDS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .session import CrowdSession
+
+__all__ = ["MarketplaceModel", "MarketplaceReport", "rounds_from_session"]
+
+
+@dataclass(frozen=True)
+class MarketplaceReport:
+    """Outcome of simulating a query's rounds through the marketplace."""
+
+    total_seconds: float
+    round_seconds: tuple[float, ...]
+    tasks_posted: int
+    tasks_reposted: int
+    worker_busy_seconds: float
+    n_workers: int
+
+    @property
+    def hours(self) -> float:
+        return self.total_seconds / 3600.0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of total worker-time spent answering (vs idle)."""
+        if self.total_seconds == 0:
+            return 0.0
+        return self.worker_busy_seconds / (self.total_seconds * self.n_workers)
+
+    def summary(self) -> str:
+        return (
+            f"~{self.hours:.1f} h over {len(self.round_seconds)} rounds; "
+            f"{self.tasks_posted:,} tasks posted "
+            f"({self.tasks_reposted:,} reposts)"
+        )
+
+
+@dataclass(frozen=True)
+class MarketplaceModel:
+    """Behavioural parameters of the simulated platform.
+
+    Attributes
+    ----------
+    n_workers:
+        Concurrent workers answering this job.
+    answer_seconds:
+        Median answer time of one microtask (Appendix B: ~10.3 s for
+        preference questions).
+    answer_cv:
+        Coefficient of variation of the lognormal answer time; 0 makes
+        answers deterministic.
+    pickup_seconds:
+        Mean exponential delay before an idle worker picks up a queued
+        task (platform discovery latency).
+    abandonment_rate:
+        Probability a picked-up task is abandoned (worker leaves, answer
+        rejected) and must be reposted.
+    """
+
+    n_workers: int = 30
+    answer_seconds: float = PREFERENCE_TASK_SECONDS
+    answer_cv: float = 0.6
+    pickup_seconds: float = 5.0
+    abandonment_rate: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.answer_seconds <= 0:
+            raise ValueError("answer_seconds must be > 0")
+        if self.answer_cv < 0:
+            raise ValueError("answer_cv must be >= 0")
+        if self.pickup_seconds < 0:
+            raise ValueError("pickup_seconds must be >= 0")
+        if not 0.0 <= self.abandonment_rate < 1.0:
+            raise ValueError("abandonment_rate must be in [0, 1)")
+
+    # ------------------------------------------------------------------
+    def _answer_times(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        if self.answer_cv == 0:
+            return np.full(count, self.answer_seconds)
+        # Lognormal with the requested median and coefficient of variation.
+        sigma2 = np.log1p(self.answer_cv**2)
+        mu = np.log(self.answer_seconds)
+        return rng.lognormal(mean=mu, sigma=np.sqrt(sigma2), size=count)
+
+    def simulate(
+        self,
+        rounds: list[int],
+        seed: int | np.random.Generator = 0,
+    ) -> MarketplaceReport:
+        """Clear each round's task batch through the worker pool."""
+        if any(count < 0 for count in rounds):
+            raise ValueError("round task counts must be non-negative")
+        rng = make_rng(seed)
+        round_seconds: list[float] = []
+        posted = reposted = 0
+        busy = 0.0
+
+        for count in rounds:
+            if count == 0:
+                round_seconds.append(0.0)
+                continue
+            # Min-heap of worker-free times within this round.
+            workers = [0.0] * self.n_workers
+            heapq.heapify(workers)
+            queue = int(count)
+            finish = 0.0
+            while queue > 0:
+                posted += 1
+                queue -= 1
+                free_at = heapq.heappop(workers)
+                pickup = (
+                    rng.exponential(self.pickup_seconds)
+                    if self.pickup_seconds > 0
+                    else 0.0
+                )
+                answer = float(self._answer_times(1, rng)[0])
+                done = free_at + pickup + answer
+                busy += answer
+                if rng.random() < self.abandonment_rate:
+                    reposted += 1
+                    queue += 1  # the task returns to the queue
+                else:
+                    finish = max(finish, done)
+                heapq.heappush(workers, done)
+            round_seconds.append(finish)
+
+        return MarketplaceReport(
+            total_seconds=float(sum(round_seconds)),
+            round_seconds=tuple(round_seconds),
+            tasks_posted=posted,
+            tasks_reposted=reposted,
+            worker_busy_seconds=busy,
+            n_workers=self.n_workers,
+        )
+
+
+def rounds_from_session(session: "CrowdSession") -> list[int]:
+    """Approximate a session's per-round task counts.
+
+    The ledgers record totals, not the per-round schedule; absent a trace,
+    the spend is spread uniformly over the rounds — adequate for wall-clock
+    projection, where the sum (not the split) dominates.
+    """
+    rounds = session.latency.rounds
+    tasks = session.cost.microtasks
+    if rounds == 0 or tasks == 0:
+        return []
+    base = tasks // rounds
+    remainder = tasks - base * rounds
+    return [base + (1 if i < remainder else 0) for i in range(rounds)]

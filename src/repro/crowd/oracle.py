@@ -1,0 +1,430 @@
+"""Judgment oracles — the simulated crowd.
+
+An oracle answers pairwise-preference microtasks: ``draw(i, j, size, rng)``
+returns ``size`` independent worker preferences ``v(o_i, o_j)`` whose sign
+points at the preferred item.  The concrete oracles reproduce exactly the
+simulation rules of §6.1:
+
+* :class:`HistogramOracle` — sample each item's rating from its own vote
+  histogram and return the difference (IMDb, Book).
+* :class:`UserTableOracle` — pick a random user and return her rating
+  difference for the pair (Jester).
+* :class:`RecordDatabaseOracle` — sample a stored judgment record of the
+  pair (Photo).
+* :class:`LatentScoreOracle` — Gaussian preferences centred on the true
+  score gap with a worker-noise model (PeopleAge, synthetic tests).
+* :class:`BinaryOracle` — wrap any oracle into the pairwise *binary*
+  judgment model: return only ``sign(v) ∈ {-1, +1}``, re-drawing exact
+  zeros (the paper drops unidentifiable judgments).
+
+Oracles additionally expose a batched ``draw_pairs`` used by racing pools
+to answer one microtask for thousands of pairs in a single vectorized call,
+and — where the underlying data supports it — a ``rate`` method producing
+absolute *graded* judgments for the Hybrid baselines.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Mapping
+
+import numpy as np
+
+from ..errors import OracleError
+from .workers import GaussianNoise, WorkerNoise
+
+__all__ = [
+    "JudgmentOracle",
+    "LatentScoreOracle",
+    "HistogramOracle",
+    "UserTableOracle",
+    "RecordDatabaseOracle",
+    "BinaryOracle",
+]
+
+
+class JudgmentOracle(ABC):
+    """Source of pairwise preference judgments for item pairs."""
+
+    #: Support bounds ``(lo, hi)`` of a single preference value, or ``None``
+    #: when unbounded.  The Hoeffding tester needs a bounded support.
+    bounds: tuple[float, float] | None = None
+
+    @abstractmethod
+    def draw(self, i: int, j: int, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` preferences ``v(o_i, o_j)``; positive favours ``o_i``."""
+
+    def draw_pairs(
+        self,
+        left: np.ndarray,
+        right: np.ndarray,
+        size: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Draw a ``(len(left), size)`` matrix of preferences, one row per pair.
+
+        The default implementation loops over :meth:`draw`; subclasses
+        override it with fully vectorized sampling.
+        """
+        left = np.asarray(left)
+        right = np.asarray(right)
+        out = np.empty((len(left), size), dtype=np.float64)
+        for row, (i, j) in enumerate(zip(left, right)):
+            out[row] = self.draw(int(i), int(j), size, rng)
+        return out
+
+    @property
+    def value_range(self) -> float | None:
+        """Width of the support, or ``None`` when unbounded."""
+        if self.bounds is None:
+            return None
+        return self.bounds[1] - self.bounds[0]
+
+    # Graded judgments -------------------------------------------------
+    @property
+    def supports_rating(self) -> bool:
+        """Whether this oracle can answer absolute *graded* microtasks."""
+        return False
+
+    def rate(self, item: int, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` absolute graded judgments for ``item``."""
+        raise OracleError(f"{type(self).__name__} does not support graded judgments")
+
+
+class LatentScoreOracle(JudgmentOracle):
+    """Gaussian preferences centred on the true score gap.
+
+    ``v(o_i, o_j) ~ Δs_{i,j} + noise`` where ``Δs`` is the hidden score
+    difference and ``noise`` comes from a :class:`WorkerNoise` model —
+    the textbook instantiation of the §3.1 assumption
+    ``v(o_i, o_j) ~ N(μ_{i,j}, σ²_{i,j})``.
+    """
+
+    def __init__(
+        self,
+        scores: Mapping[int, float] | np.ndarray,
+        noise: WorkerNoise | None = None,
+    ) -> None:
+        if isinstance(scores, np.ndarray):
+            self._scores = {int(i): float(s) for i, s in enumerate(scores)}
+        else:
+            self._scores = {int(i): float(s) for i, s in scores.items()}
+        self._noise = noise if noise is not None else GaussianNoise(1.0)
+        self._score_array: np.ndarray | None = None
+        max_id = max(self._scores) if self._scores else -1
+        if len(self._scores) == max_id + 1:
+            # Dense ids: enable vectorized batch drawing.
+            arr = np.empty(max_id + 1, dtype=np.float64)
+            for item, score in self._scores.items():
+                arr[item] = score
+            self._score_array = arr
+
+    def _gap(self, i: int, j: int) -> float:
+        try:
+            return self._scores[int(i)] - self._scores[int(j)]
+        except KeyError as exc:
+            raise OracleError(f"unknown item {exc.args[0]}") from None
+
+    def draw(self, i: int, j: int, size: int, rng: np.random.Generator) -> np.ndarray:
+        return self._gap(i, j) + self._noise.sample(size, rng)
+
+    def draw_pairs(
+        self,
+        left: np.ndarray,
+        right: np.ndarray,
+        size: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        if self._score_array is None:
+            return super().draw_pairs(left, right, size, rng)
+        left = np.asarray(left, dtype=np.intp)
+        right = np.asarray(right, dtype=np.intp)
+        gaps = self._score_array[left] - self._score_array[right]
+        noise = self._noise.sample(len(left) * size, rng).reshape(len(left), size)
+        return gaps[:, None] + noise
+
+    @property
+    def supports_rating(self) -> bool:
+        return True
+
+    def rate(self, item: int, size: int, rng: np.random.Generator) -> np.ndarray:
+        try:
+            score = self._scores[int(item)]
+        except KeyError:
+            raise OracleError(f"unknown item {item}") from None
+        return score + self._noise.sample(size, rng)
+
+
+class HistogramOracle(JudgmentOracle):
+    """Preferences from per-item rating histograms (IMDb / Book rule).
+
+    Each item carries a probability mass function over a shared rating
+    ``support``.  A microtask samples one rating per item independently and
+    answers their difference, exactly the simulation of §3.2/§6.1.
+    """
+
+    def __init__(self, support: np.ndarray, pmf_by_item: Mapping[int, np.ndarray]) -> None:
+        support = np.asarray(support, dtype=np.float64)
+        if support.ndim != 1 or len(support) < 2:
+            raise OracleError("support must be a 1-D grid with >= 2 points")
+        if not np.all(np.diff(support) > 0):
+            raise OracleError("support must be strictly increasing")
+        self._support = support
+        ids = sorted(int(i) for i in pmf_by_item)
+        self._row_of = {item: row for row, item in enumerate(ids)}
+        cdf = np.empty((len(ids), len(support)), dtype=np.float64)
+        for item, row in self._row_of.items():
+            pmf = np.asarray(pmf_by_item[item], dtype=np.float64)
+            if pmf.shape != support.shape:
+                raise OracleError(f"pmf of item {item} does not match the support")
+            if np.any(pmf < 0) or not np.isclose(pmf.sum(), 1.0, atol=1e-8):
+                raise OracleError(f"pmf of item {item} is not a distribution")
+            cdf[row] = np.cumsum(pmf)
+        cdf[:, -1] = 1.0  # guard against round-off at the top
+        self._cdf = cdf
+        span = float(support[-1] - support[0])
+        self.bounds = (-span, span)
+
+    @property
+    def support(self) -> np.ndarray:
+        """The shared rating grid."""
+        return self._support
+
+    def mean_rating(self, item: int) -> float:
+        """Expected rating of ``item`` under its histogram."""
+        row = self._row(item)
+        pmf = np.diff(np.concatenate(([0.0], self._cdf[row])))
+        return float(pmf @ self._support)
+
+    def _row(self, item: int) -> int:
+        try:
+            return self._row_of[int(item)]
+        except KeyError:
+            raise OracleError(f"unknown item {item}") from None
+
+    def _sample_ratings(
+        self, rows: np.ndarray, size: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Inverse-CDF sample: a ``(len(rows), size)`` matrix of ratings."""
+        u = rng.random((len(rows), size))
+        # For each row r: index = #{support points with cdf < u}.
+        idx = (u[:, :, None] > self._cdf[rows][:, None, :]).sum(axis=2)
+        return self._support[idx]
+
+    def draw(self, i: int, j: int, size: int, rng: np.random.Generator) -> np.ndarray:
+        rows = np.asarray([self._row(i), self._row(j)])
+        ratings = self._sample_ratings(rows, size, rng)
+        return ratings[0] - ratings[1]
+
+    def draw_pairs(
+        self,
+        left: np.ndarray,
+        right: np.ndarray,
+        size: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        rows_left = np.asarray([self._row(int(i)) for i in left])
+        rows_right = np.asarray([self._row(int(j)) for j in right])
+        return self._sample_ratings(rows_left, size, rng) - self._sample_ratings(
+            rows_right, size, rng
+        )
+
+    @property
+    def supports_rating(self) -> bool:
+        return True
+
+    def rate(self, item: int, size: int, rng: np.random.Generator) -> np.ndarray:
+        rows = np.asarray([self._row(item)])
+        return self._sample_ratings(rows, size, rng)[0]
+
+
+class UserTableOracle(JudgmentOracle):
+    """Preferences from a dense user × item rating table (Jester rule).
+
+    A microtask picks a uniformly random user and answers the difference of
+    her ratings for the two items, so judgments are *within-user* paired
+    differences exactly as in §6.1.
+    """
+
+    def __init__(self, ratings: np.ndarray, item_ids: np.ndarray | None = None) -> None:
+        ratings = np.asarray(ratings, dtype=np.float64)
+        if ratings.ndim != 2 or ratings.shape[0] < 1 or ratings.shape[1] < 2:
+            raise OracleError("ratings must be a (users × items) matrix")
+        if not np.all(np.isfinite(ratings)):
+            raise OracleError("ratings must be finite (the table is dense)")
+        self._ratings = ratings
+        if item_ids is None:
+            item_ids = np.arange(ratings.shape[1])
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        if len(item_ids) != ratings.shape[1]:
+            raise OracleError("item_ids must align with the rating columns")
+        self._col_of = {int(i): c for c, i in enumerate(item_ids)}
+        lo, hi = float(ratings.min()), float(ratings.max())
+        self.bounds = (lo - hi, hi - lo)
+
+    def _col(self, item: int) -> int:
+        try:
+            return self._col_of[int(item)]
+        except KeyError:
+            raise OracleError(f"unknown item {item}") from None
+
+    @property
+    def n_users(self) -> int:
+        """Number of simulated users in the table."""
+        return self._ratings.shape[0]
+
+    def mean_rating(self, item: int) -> float:
+        """Average rating of ``item`` across all users."""
+        return float(self._ratings[:, self._col(item)].mean())
+
+    def draw(self, i: int, j: int, size: int, rng: np.random.Generator) -> np.ndarray:
+        users = rng.integers(0, self.n_users, size=size)
+        ci, cj = self._col(i), self._col(j)
+        return self._ratings[users, ci] - self._ratings[users, cj]
+
+    def draw_pairs(
+        self,
+        left: np.ndarray,
+        right: np.ndarray,
+        size: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        cols_left = np.asarray([self._col(int(i)) for i in left])
+        cols_right = np.asarray([self._col(int(j)) for j in right])
+        users = rng.integers(0, self.n_users, size=(len(cols_left), size))
+        return (
+            self._ratings[users, cols_left[:, None]]
+            - self._ratings[users, cols_right[:, None]]
+        )
+
+    @property
+    def supports_rating(self) -> bool:
+        return True
+
+    def rate(self, item: int, size: int, rng: np.random.Generator) -> np.ndarray:
+        users = rng.integers(0, self.n_users, size=size)
+        return self._ratings[users, self._col(item)]
+
+
+class RecordDatabaseOracle(JudgmentOracle):
+    """Preferences sampled from a pre-collected judgment database (Photo rule).
+
+    The database holds, for every unordered pair, a pool of recorded worker
+    preferences; a microtask samples one record uniformly with replacement.
+    Internally records are packed into a flat array with per-pair offsets so
+    batched sampling stays vectorized.
+    """
+
+    def __init__(self, records: Mapping[tuple[int, int], np.ndarray]) -> None:
+        if not records:
+            raise OracleError("the record database is empty")
+        flat: list[np.ndarray] = []
+        offsets: dict[tuple[int, int], tuple[int, int]] = {}
+        cursor = 0
+        for pair, values in records.items():
+            i, j = int(pair[0]), int(pair[1])
+            if i == j:
+                raise OracleError(f"self-pair ({i}, {i}) in the record database")
+            values = np.asarray(values, dtype=np.float64)
+            if values.ndim != 1 or values.size == 0:
+                raise OracleError(f"pair ({i}, {j}) has no records")
+            key = (i, j) if i < j else (j, i)
+            canonical = values if i < j else -values
+            if key in offsets:
+                raise OracleError(f"pair {key} appears twice in the record database")
+            flat.append(canonical)
+            offsets[key] = (cursor, len(values))
+            cursor += len(values)
+        self._values = np.concatenate(flat)
+        self._offsets = offsets
+        lo, hi = float(self._values.min()), float(self._values.max())
+        span = max(abs(lo), abs(hi))
+        self.bounds = (-span, span)
+
+    def _slot(self, i: int, j: int) -> tuple[int, int, float]:
+        i, j = int(i), int(j)
+        key, sign = ((i, j), 1.0) if i < j else ((j, i), -1.0)
+        try:
+            start, count = self._offsets[key]
+        except KeyError:
+            raise OracleError(f"no records for pair ({i}, {j})") from None
+        return start, count, sign
+
+    def record_count(self, i: int, j: int) -> int:
+        """Number of stored records for the pair ``{i, j}``."""
+        _, count, _ = self._slot(i, j)
+        return count
+
+    def draw(self, i: int, j: int, size: int, rng: np.random.Generator) -> np.ndarray:
+        start, count, sign = self._slot(i, j)
+        idx = start + rng.integers(0, count, size=size)
+        return sign * self._values[idx]
+
+    def draw_pairs(
+        self,
+        left: np.ndarray,
+        right: np.ndarray,
+        size: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        slots = [self._slot(int(i), int(j)) for i, j in zip(left, right)]
+        starts = np.asarray([s[0] for s in slots])
+        counts = np.asarray([s[1] for s in slots])
+        signs = np.asarray([s[2] for s in slots])
+        idx = starts[:, None] + rng.integers(0, counts[:, None], size=(len(slots), size))
+        return signs[:, None] * self._values[idx]
+
+
+class BinaryOracle(JudgmentOracle):
+    """Wrap any oracle into the pairwise *binary* judgment model.
+
+    Workers answer only "which is better": ``v_b = sign(v) ∈ {-1, +1}``.
+    Exact zeros are unidentifiable and are re-drawn, matching the paper's
+    "this judgment is dropped" rule (the dropped task is not charged — the
+    platform would not accept a blank answer).
+    """
+
+    #: Re-draw attempts before concluding the pair never separates.
+    MAX_REDRAWS = 64
+
+    def __init__(self, base: JudgmentOracle) -> None:
+        self._base = base
+        self.bounds = (-1.0, 1.0)
+        #: Judgments that came back exactly tied and were re-asked.  A real
+        #: platform pays for those answers too; cost models that account
+        #: for the waste (Table 3) read this counter.
+        self.wasted = 0
+
+    def draw(self, i: int, j: int, size: int, rng: np.random.Generator) -> np.ndarray:
+        out = np.sign(self._base.draw(i, j, size, rng))
+        for _ in range(self.MAX_REDRAWS):
+            zeros = np.flatnonzero(out == 0)
+            if zeros.size == 0:
+                return out
+            self.wasted += int(zeros.size)
+            out[zeros] = np.sign(self._base.draw(i, j, zeros.size, rng))
+        raise OracleError(
+            f"pair ({i}, {j}) keeps producing exactly-tied judgments; "
+            "binary votes cannot separate it"
+        )
+
+    def draw_pairs(
+        self,
+        left: np.ndarray,
+        right: np.ndarray,
+        size: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        out = np.sign(self._base.draw_pairs(left, right, size, rng))
+        for _ in range(self.MAX_REDRAWS):
+            rows, cols = np.nonzero(out == 0)
+            if rows.size == 0:
+                return out
+            self.wasted += int(rows.size)
+            redraw = np.sign(
+                self._base.draw_pairs(
+                    np.asarray(left)[rows], np.asarray(right)[rows], 1, rng
+                )[:, 0]
+            )
+            out[rows, cols] = redraw
+        raise OracleError("some pairs keep producing exactly-tied judgments")

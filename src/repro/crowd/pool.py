@@ -1,0 +1,256 @@
+"""Lockstep racing of many comparison processes.
+
+Incremental algorithms — SPR's partitioning loop (Algorithm 4) and the
+preference-based racing baseline — advance *many* pairs by one batch of
+microtasks per round, harvesting whichever verdicts become available.  A
+:class:`RacingPool` runs that schedule with fully vectorized stopping-rule
+evaluation: one oracle call and one ``decision_codes`` call per round,
+regardless of how many pairs are racing.
+
+Semantics match running one :class:`~repro.core.comparison.Comparator` per
+pair — the stopping rule is checked after every sample, costs are charged
+only for consumed samples — but rounds are shared across the pool, which is
+precisely the paper's parallel-latency model (§5.5).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..config import ComparisonConfig
+from ..core.estimators import SteinTester, make_tester
+from ..core.estimators.base import sample_variance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .session import CrowdSession
+
+__all__ = ["RacingPool"]
+
+ACTIVE = 0
+DECIDED_LEFT = 1
+DECIDED_RIGHT = -1
+TIE = 2
+DEACTIVATED = 3
+
+
+class RacingPool:
+    """Races a fixed set of pairs in batched rounds until each resolves.
+
+    Parameters
+    ----------
+    session:
+        The :class:`CrowdSession` paying for microtasks and rounds.
+    pairs:
+        The ``(left, right)`` item pairs to race.
+    use_cache:
+        Replay and extend the session's judgment cache (on for SPR, off for
+        PBR whose quadratic pair set would swamp the per-pair store).
+    charge_latency:
+        Whether each :meth:`round` bills one latency round.
+    config:
+        Optional comparison-config override (defaults to the session's).
+    """
+
+    def __init__(
+        self,
+        session: "CrowdSession",
+        pairs: list[tuple[int, int]],
+        *,
+        use_cache: bool = True,
+        charge_latency: bool = True,
+        config: ComparisonConfig | None = None,
+    ) -> None:
+        self.session = session
+        self.config = config if config is not None else session.config
+        self.use_cache = use_cache
+        self.charge_latency = charge_latency
+        self._tester = make_tester(self.config, session.oracle.value_range)
+        self._budget = self.config.effective_budget
+
+        count = len(pairs)
+        self.left = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        self.right = np.asarray([p[1] for p in pairs], dtype=np.int64)
+        self.n = np.zeros(count, dtype=np.int64)
+        self.s1 = np.zeros(count, dtype=np.float64)
+        self.s2 = np.zeros(count, dtype=np.float64)
+        self.status = np.full(count, ACTIVE, dtype=np.int8)
+        self.initial_decisions: list[tuple[int, int]] = []
+        # Two-stage Stein freezes each pair's variance estimate at the
+        # cold-start sample; the pool tracks those per pair.
+        self._stein = isinstance(self._tester, SteinTester)
+        self._stage_var = np.full(count, np.nan) if self._stein else None
+
+        if use_cache and count:
+            self._replay_cache()
+
+    def _replay_cache(self) -> None:
+        """Seed pair states from previously stored judgments."""
+        cache = self.session.cache
+        for idx in range(len(self.left)):
+            bag = cache.bag(int(self.left[idx]), int(self.right[idx]))
+            if bag.size == 0:
+                continue
+            tester = make_tester(self.config, self.session.oracle.value_range)
+            _, code = tester.scan(bag[: self._budget])
+            self.n[idx] = tester.state.n
+            self.s1[idx] = tester.state.s1
+            self.s2[idx] = tester.state.s2
+            if self._stein:
+                self._stage_var[idx] = tester.stage_variance
+            if code is not None:
+                self.status[idx] = DECIDED_LEFT if code > 0 else DECIDED_RIGHT
+                self.initial_decisions.append((idx, code))
+            elif self.n[idx] >= self._budget:
+                self.status[idx] = TIE
+                self.initial_decisions.append((idx, 0))
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Total number of pairs in the pool."""
+        return len(self.left)
+
+    @property
+    def active_indices(self) -> np.ndarray:
+        """Indices of pairs still racing."""
+        return np.flatnonzero(self.status == ACTIVE)
+
+    @property
+    def is_done(self) -> bool:
+        """Whether no pair is racing any more."""
+        return not np.any(self.status == ACTIVE)
+
+    def deactivate(self, idx: int) -> None:
+        """Stop racing pair ``idx`` without a verdict (it stopped mattering)."""
+        if self.status[idx] == ACTIVE:
+            self.status[idx] = DEACTIVATED
+
+    def moments(self, idx: int) -> tuple[int, float, float]:
+        """``(n, mean, variance)`` of pair ``idx``'s consumed samples."""
+        n = int(self.n[idx])
+        if n == 0:
+            return 0, math.nan, math.nan
+        mean = float(self.s1[idx] / n)
+        if n < 2:
+            return n, mean, math.nan
+        var = max((float(self.s2[idx]) - n * mean * mean) / (n - 1), 0.0)
+        return n, mean, var
+
+    def mean(self, idx: int) -> float:
+        """Sample mean of pair ``idx`` (NaN when empty)."""
+        n = int(self.n[idx])
+        return float(self.s1[idx] / n) if n else math.nan
+
+    # ------------------------------------------------------------------
+    def round(self, step: int | None = None) -> list[tuple[int, int]]:
+        """Advance every active pair by up to one batch of microtasks.
+
+        Returns the newly resolved pairs as ``(pair_index, code)`` with
+        code ``+1`` (left wins), ``-1`` (right wins) or ``0`` (tie — the
+        per-pair budget ran out undecided).  Charges the session for the
+        consumed microtasks and, if configured, one latency round.
+        """
+        active = self.active_indices
+        if active.size == 0:
+            return []
+        step = self.config.batch_size if step is None else int(step)
+        if step < 1:
+            raise ValueError(f"step must be >= 1, got {step}")
+
+        remaining = (self._budget - self.n[active]).astype(np.int64)
+        draw = self.session.oracle.draw_pairs(
+            self.left[active], self.right[active], step, self.session.rng
+        )
+        counts = np.arange(1, step + 1, dtype=np.int64)
+        n_mat = self.n[active, None] + counts[None, :]
+        s1_mat = self.s1[active, None] + np.cumsum(draw, axis=1)
+        s2_mat = self.s2[active, None] + np.cumsum(np.square(draw), axis=1)
+        if self._stein:
+            codes = self._stein_codes(active, n_mat, s1_mat, s2_mat, remaining)
+        else:
+            codes = self._tester.decision_codes(n_mat, s1_mat / n_mat, s2_mat)
+        codes = np.where(n_mat >= self.config.min_workload, codes, 0)
+        over_budget = counts[None, :] > remaining[:, None]
+        codes = np.where(over_budget, 0, codes)
+
+        has_decision = codes != 0
+        first = np.where(has_decision.any(axis=1), has_decision.argmax(axis=1), step)
+        consumed = np.where(
+            first < step, first + 1, np.minimum(step, remaining)
+        ).astype(np.int64)
+
+        rows = np.arange(active.size)
+        last = consumed - 1
+        self.n[active] = n_mat[rows, last]
+        self.s1[active] = s1_mat[rows, last]
+        self.s2[active] = s2_mat[rows, last]
+
+        cache = self.session.cache if self.use_cache else None
+        resolved: list[tuple[int, int]] = []
+        decided_rows = np.flatnonzero(first < step)
+        exhausted_rows = np.flatnonzero(
+            (first >= step) & (self.n[active] >= self._budget)
+        )
+        for row in decided_rows:
+            idx = int(active[row])
+            code = int(codes[row, first[row]])
+            self.status[idx] = DECIDED_LEFT if code > 0 else DECIDED_RIGHT
+            resolved.append((idx, code))
+        for row in exhausted_rows:
+            idx = int(active[row])
+            self.status[idx] = TIE
+            resolved.append((idx, 0))
+        if cache is not None:
+            for row in range(active.size):
+                idx = int(active[row])
+                cache.append(
+                    int(self.left[idx]),
+                    int(self.right[idx]),
+                    draw[row, : consumed[row]],
+                )
+
+        self.session.charge_cost(int(consumed.sum()))
+        if self.charge_latency:
+            self.session.charge_rounds(1)
+        return resolved
+
+    def _stein_codes(
+        self,
+        active: np.ndarray,
+        n_mat: np.ndarray,
+        s1_mat: np.ndarray,
+        s2_mat: np.ndarray,
+        remaining: np.ndarray,
+    ) -> np.ndarray:
+        """Two-stage Stein decisions: capture stage variances, then decide."""
+        stage = self.config.min_workload
+        n_before = self.n[active]
+        crossing = np.flatnonzero(
+            np.isnan(self._stage_var[active])
+            & (n_before < stage)
+            & (n_before + np.minimum(n_mat.shape[1], remaining) >= stage)
+        )
+        if crossing.size:
+            cols = (stage - n_before[crossing] - 1).astype(np.intp)
+            at_n = n_mat[crossing, cols]
+            at_mean = s1_mat[crossing, cols] / at_n
+            var = sample_variance(at_n, at_mean, s2_mat[crossing, cols])
+            self._stage_var[active[crossing]] = var
+        return SteinTester.frozen_codes(
+            n_mat,
+            s1_mat / n_mat,
+            self._stage_var[active][:, None],
+            stage - 1,
+            self._tester.alpha,
+            self._tester.epsilon,
+        )
+
+    def run_to_completion(self, step: int | None = None) -> list[tuple[int, int]]:
+        """Race until every pair resolves; returns all resolutions in order."""
+        resolved = list(self.initial_decisions)
+        while not self.is_done:
+            resolved.extend(self.round(step))
+        return resolved

@@ -1,0 +1,141 @@
+"""Crowd sessions: comparisons + accounting in one handle.
+
+A :class:`CrowdSession` is what every top-k algorithm receives: it bundles
+the judgment oracle, the shared judgment cache, the comparison
+configuration, a random stream, and the cost/latency ledgers.  Algorithms
+never talk to the oracle directly — all spending flows through the session
+so that TMC and latency are measured uniformly across methods.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from ..config import ComparisonConfig
+from ..core.cache import JudgmentCache
+from ..core.comparison import Comparator, ComparisonRecord
+from ..rng import make_rng
+from .ledger import CostLedger, LatencyLedger
+from .oracle import JudgmentOracle
+
+__all__ = ["CrowdSession"]
+
+
+class CrowdSession:
+    """One query's worth of crowdsourcing state.
+
+    Parameters
+    ----------
+    oracle:
+        The simulated crowd answering microtasks.
+    config:
+        The comparison process configuration (confidence, budget ``B``,
+        cold start ``I``, batch size ``η``, estimator).
+    seed:
+        Seed / generator for the session's random stream.
+    max_total_cost:
+        Optional hard ceiling on the session's total monetary cost;
+        crossing it raises :class:`~repro.errors.BudgetExhaustedError`.
+        Per-pair budgets are handled by the comparison process itself and
+        never raise.
+    """
+
+    def __init__(
+        self,
+        oracle: JudgmentOracle,
+        config: ComparisonConfig | None = None,
+        seed: int | None | np.random.Generator = None,
+        max_total_cost: int | None = None,
+    ) -> None:
+        self.oracle = oracle
+        self.config = config if config is not None else ComparisonConfig()
+        self.rng = make_rng(seed)
+        self.cache = JudgmentCache()
+        self.comparator = Comparator(oracle, self.config, self.cache)
+        self.cost = CostLedger(ceiling=max_total_cost)
+        self.latency = LatencyLedger()
+
+    # ------------------------------------------------------------------
+    # comparisons
+    # ------------------------------------------------------------------
+    def compare(
+        self, i: int, j: int, *, charge_latency: bool = True
+    ) -> ComparisonRecord:
+        """Run ``COMP(o_i, o_j)``, charging both ledgers.
+
+        With ``charge_latency=False`` only cost is charged; callers that
+        orchestrate parallel groups account latency themselves.
+        """
+        self.cost.begin_comparison()
+        record = self.comparator.compare(i, j, self.rng)
+        self.cost.charge(record.cost)
+        if charge_latency:
+            self.latency.add(record.rounds)
+        return record
+
+    def compare_group(
+        self, pairs: Iterable[tuple[int, int]]
+    ) -> list[ComparisonRecord]:
+        """Run independent comparisons that are outsourced simultaneously.
+
+        Cost is the sum over the group; latency is the maximum — the crowd
+        answers all the pairs' batches in overlapping rounds (§5.5).
+        """
+        records = [self.compare(i, j, charge_latency=False) for i, j in pairs]
+        self.latency.add_parallel([r.rounds for r in records])
+        return records
+
+    def moments(self, i: int, j: int) -> tuple[int, float, float]:
+        """``(n, mean, variance)`` of the cached bag for ``(i, j)``."""
+        return self.cache.moments(i, j)
+
+    # ------------------------------------------------------------------
+    # low-level accounting for racing pools and custom schedules
+    # ------------------------------------------------------------------
+    def charge_cost(self, microtasks: int) -> None:
+        """Charge raw microtask cost (racing pools buy in bulk)."""
+        self.cost.charge(microtasks)
+
+    def charge_rounds(self, rounds: int) -> None:
+        """Charge raw latency rounds."""
+        self.latency.add(rounds)
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    @property
+    def total_cost(self) -> int:
+        """Total monetary cost so far (microtasks)."""
+        return self.cost.microtasks
+
+    @property
+    def total_rounds(self) -> int:
+        """Total latency so far (batch rounds)."""
+        return self.latency.rounds
+
+    def fork(
+        self, oracle: JudgmentOracle | None = None, **config_changes: object
+    ) -> "CrowdSession":
+        """A session sharing this one's rng and ledgers with a tweaked setup.
+
+        Used by algorithms that mix judgment regimes — e.g. PBR races
+        *binary* votes under Hoeffding intervals, Hybrid grades before it
+        ranks — while keeping a single bill.  The judgment cache is shared
+        unless ``oracle`` is replaced (bags from different judgment models
+        must not mix; a fresh cache is installed in that case).
+        """
+        clone = object.__new__(CrowdSession)
+        clone.oracle = oracle if oracle is not None else self.oracle
+        clone.config = self.config.with_(**config_changes) if config_changes else self.config
+        clone.rng = self.rng
+        clone.cache = JudgmentCache() if oracle is not None else self.cache
+        clone.comparator = Comparator(clone.oracle, clone.config, clone.cache)
+        clone.cost = self.cost
+        clone.latency = self.latency
+        return clone
+
+    def spent(self) -> tuple[int, int]:
+        """``(cost, rounds)`` snapshot, handy for phase-level accounting."""
+        return self.cost.microtasks, self.latency.rounds

@@ -1,0 +1,80 @@
+"""Worker behaviour models.
+
+The paper trusts workers in aggregate: preference values for a pair are
+i.i.d. draws from a pair-specific distribution whose mean tracks the true
+score gap and whose variance encodes the difficulty of the pair.  These
+classes let :class:`~repro.crowd.oracle.LatentScoreOracle` compose that
+distribution from interpretable pieces — honest Gaussian perception noise,
+plus optional "careless worker" contamination for robustness experiments
+and failure-injection tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WorkerNoise", "GaussianNoise", "CarelessWorkerNoise"]
+
+
+class WorkerNoise(ABC):
+    """Additive noise a worker applies on top of the true score gap."""
+
+    @abstractmethod
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` noise values."""
+
+
+@dataclass(frozen=True)
+class GaussianNoise(WorkerNoise):
+    """Plain Gaussian perception noise with standard deviation ``sigma``."""
+
+    sigma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {self.sigma}")
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        if self.sigma == 0:
+            return np.zeros(size)
+        return rng.normal(0.0, self.sigma, size=size)
+
+
+@dataclass(frozen=True)
+class CarelessWorkerNoise(WorkerNoise):
+    """A mixture: honest Gaussian workers plus a careless fraction.
+
+    With probability ``careless_rate`` a judgment is replaced by pure
+    uniform noise over ``[-spread, spread]`` *added to nothing*, modelling a
+    worker who answers without looking.  The comparison process must still
+    converge (more slowly) — this is the contamination model used by the
+    robustness tests.
+    """
+
+    sigma: float = 1.0
+    careless_rate: float = 0.1
+    spread: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {self.sigma}")
+        if not 0.0 <= self.careless_rate <= 1.0:
+            raise ValueError(
+                f"careless_rate must be in [0, 1], got {self.careless_rate}"
+            )
+        if self.spread <= 0:
+            raise ValueError(f"spread must be > 0, got {self.spread}")
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        noise = rng.normal(0.0, self.sigma, size=size) if self.sigma else np.zeros(size)
+        if self.careless_rate > 0:
+            careless = rng.random(size) < self.careless_rate
+            # Careless answers ignore the true gap; encode that as a noise
+            # value so large it dominates.  The oracle recognizes the mask
+            # via sentinel handling below being unnecessary: uniform noise
+            # centred at 0 simply has no information about the pair.
+            noise[careless] = rng.uniform(-self.spread, self.spread, careless.sum())
+        return noise

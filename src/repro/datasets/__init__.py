@@ -1,0 +1,28 @@
+"""Synthetic stand-ins for the paper's evaluation datasets.
+
+Each generator reproduces the *shape* of one of the §6.1 datasets — item
+count, rating support, vote-pool sizes, and the exact judgment-simulation
+rule the paper applies to it.  See DESIGN.md §3 for the substitution
+rationale.
+"""
+
+from .base import Dataset
+from .book import make_book
+from .imdb import make_imdb
+from .jester import make_jester
+from .peopleage import make_peopleage
+from .photo import make_photo
+from .registry import DATASET_NAMES, load_dataset
+from .synthetic import make_synthetic
+
+__all__ = [
+    "Dataset",
+    "DATASET_NAMES",
+    "load_dataset",
+    "make_book",
+    "make_imdb",
+    "make_jester",
+    "make_peopleage",
+    "make_photo",
+    "make_synthetic",
+]

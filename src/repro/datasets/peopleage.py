@@ -1,0 +1,114 @@
+"""Synthetic PeopleAge-shaped dataset (Appendix F interactive experiment).
+
+The original dataset is a gallery of 100 women, one per age from 1 to 100;
+the query asks for the 10 *youngest*.  Workers compare perceived ages, and
+age perception is well known to blur with age: telling a 5-year-old from a
+15-year-old is trivial, telling 67 from 72 is not.  The oracle models a
+worker's perceived age as
+
+``perceived(a) = a + a·rel_noise·z₁ + abs_noise·z₂``
+
+and answers the (scaled) difference of the two perceived ages, oriented so
+positive favours the younger (better) item.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.items import ItemSet
+from ..crowd.oracle import JudgmentOracle
+from ..errors import OracleError
+from ..rng import make_rng
+from .base import Dataset
+
+__all__ = ["make_peopleage", "AgePerceptionOracle"]
+
+
+class AgePerceptionOracle(JudgmentOracle):
+    """Pairwise age comparisons with age-proportional perception noise."""
+
+    def __init__(
+        self,
+        ages: np.ndarray,
+        rel_noise: float = 0.15,
+        abs_noise: float = 2.0,
+        scale: float = 10.0,
+    ) -> None:
+        ages = np.asarray(ages, dtype=np.float64)
+        if ages.ndim != 1 or len(ages) < 2:
+            raise OracleError("ages must be a 1-D array with >= 2 entries")
+        if np.any(ages <= 0):
+            raise OracleError("ages must be positive")
+        if rel_noise < 0 or abs_noise < 0:
+            raise OracleError("noise levels must be non-negative")
+        if scale <= 0:
+            raise OracleError("scale must be positive")
+        self._ages = ages
+        self._rel = rel_noise
+        self._abs = abs_noise
+        self._scale = scale
+        self.bounds = None  # Gaussian tails: unbounded support
+
+    def _age(self, item: int) -> float:
+        item = int(item)
+        if not 0 <= item < len(self._ages):
+            raise OracleError(f"unknown item {item}")
+        return float(self._ages[item])
+
+    def _perceive(self, ages: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        shape = ages.shape
+        return (
+            ages
+            + ages * self._rel * rng.standard_normal(shape)
+            + self._abs * rng.standard_normal(shape)
+        )
+
+    def draw(self, i: int, j: int, size: int, rng: np.random.Generator) -> np.ndarray:
+        ai = np.full(size, self._age(i))
+        aj = np.full(size, self._age(j))
+        # Positive preference = the left item looks younger.
+        return (self._perceive(aj, rng) - self._perceive(ai, rng)) / self._scale
+
+    def draw_pairs(
+        self,
+        left: np.ndarray,
+        right: np.ndarray,
+        size: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        ages_left = self._ages[np.asarray(left, dtype=np.intp)]
+        ages_right = self._ages[np.asarray(right, dtype=np.intp)]
+        ai = np.broadcast_to(ages_left[:, None], (len(ages_left), size)).copy()
+        aj = np.broadcast_to(ages_right[:, None], (len(ages_right), size)).copy()
+        return (self._perceive(aj, rng) - self._perceive(ai, rng)) / self._scale
+
+
+def make_peopleage(
+    seed: int | np.random.Generator = 0,
+    n_items: int = 100,
+    rel_noise: float = 0.15,
+    abs_noise: float = 2.0,
+) -> Dataset:
+    """Build the synthetic PeopleAge dataset (one person per age, 1..n)."""
+    if n_items < 2:
+        raise ValueError(f"need at least 2 people, got {n_items}")
+    rng = make_rng(seed)
+    ages = np.arange(1, n_items + 1, dtype=np.float64)
+    rng.shuffle(ages)  # item ids carry no age information
+
+    items = ItemSet(
+        ids=np.arange(n_items),
+        scores=-ages,  # "top" = youngest
+        labels=tuple(f"person aged {int(a)}" for a in ages),
+    )
+    oracle = AgePerceptionOracle(ages, rel_noise=rel_noise, abs_noise=abs_noise)
+    return Dataset(
+        name="peopleage",
+        items=items,
+        oracle=oracle,
+        description=(
+            f"synthetic PeopleAge: {n_items} people aged 1..{n_items}, "
+            "query = youngest; perception noise grows with age"
+        ),
+    )

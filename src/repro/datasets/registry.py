@@ -1,0 +1,64 @@
+"""Name-based dataset loading with a per-name cache.
+
+Experiments reference datasets by name (``"imdb"``, ``"book"``, …).
+Generating IMDb's 1,225 vote histograms or Photo's ~20k record pools takes
+a moment, so identical (name, seed, kwargs) requests are served from a
+process-level cache; datasets are immutable, sharing is safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+
+from ..errors import DatasetError
+from .base import Dataset
+from .book import make_book
+from .imdb import make_imdb
+from .jester import make_jester
+from .peopleage import make_peopleage
+from .photo import make_photo
+from .synthetic import make_synthetic
+
+__all__ = ["DATASET_NAMES", "load_dataset", "clear_dataset_cache"]
+
+_FACTORIES: dict[str, Callable[..., Dataset]] = {
+    "imdb": make_imdb,
+    "book": make_book,
+    "jester": make_jester,
+    "photo": make_photo,
+    "peopleage": make_peopleage,
+    "synthetic": make_synthetic,
+}
+
+#: All dataset names known to the registry.
+DATASET_NAMES = tuple(sorted(_FACTORIES))
+
+_CACHE: dict[tuple, Dataset] = {}
+_LOCK = threading.Lock()
+
+
+def load_dataset(name: str, seed: int = 0, **kwargs: object) -> Dataset:
+    """Build (or fetch from cache) the named dataset.
+
+    ``kwargs`` are forwarded to the generator; only hashable overrides are
+    cacheable, which all generator parameters are.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(DATASET_NAMES)
+        raise DatasetError(f"unknown dataset {name!r}; known: {known}") from None
+    key = (name, seed, tuple(sorted(kwargs.items())))
+    with _LOCK:
+        dataset = _CACHE.get(key)
+        if dataset is None:
+            dataset = factory(seed=seed, **kwargs)
+            _CACHE[key] = dataset
+    return dataset
+
+
+def clear_dataset_cache() -> None:
+    """Drop all cached datasets (mostly for tests)."""
+    with _LOCK:
+        _CACHE.clear()

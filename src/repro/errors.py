@@ -1,0 +1,39 @@
+"""Exception hierarchy for the crowd-topk library.
+
+All library-raised exceptions derive from :class:`CrowdTopkError`, so callers
+can catch one base class at an API boundary.  Configuration mistakes raise
+:class:`ConfigError` eagerly (at construction time) rather than failing deep
+inside an experiment run.
+"""
+
+from __future__ import annotations
+
+
+class CrowdTopkError(Exception):
+    """Base class for all errors raised by the crowd-topk library."""
+
+
+class ConfigError(CrowdTopkError, ValueError):
+    """Raised when a configuration object receives an invalid parameter."""
+
+
+class BudgetExhaustedError(CrowdTopkError):
+    """Raised when a hard session-level budget is exceeded.
+
+    Per-pair budgets never raise: a comparison that hits its budget ``B``
+    simply resolves to a tie, exactly as in the paper.  This error only
+    fires when a caller installs an explicit total-cost ceiling on a
+    :class:`~repro.crowd.session.CrowdSession` and an algorithm exceeds it.
+    """
+
+
+class DatasetError(CrowdTopkError):
+    """Raised for malformed or inconsistent dataset definitions."""
+
+
+class OracleError(CrowdTopkError):
+    """Raised when a judgment oracle cannot answer a requested microtask."""
+
+
+class AlgorithmError(CrowdTopkError):
+    """Raised when a top-k algorithm is invoked with unusable inputs."""

@@ -1,0 +1,87 @@
+"""Experiment parameters — Table 6 of the paper.
+
+Defaults are the paper's bold values; the module-level tuples are the
+swept ranges.  ``n_items=None`` means "All" (the full dataset).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..config import ComparisonConfig, SPRConfig
+from ..errors import ConfigError
+
+__all__ = [
+    "ExperimentParams",
+    "K_VALUES",
+    "ITEM_COUNTS",
+    "CONFIDENCES",
+    "BUDGETS",
+    "SWEET_SPOTS",
+    "REFERENCE_CHANGES",
+]
+
+#: Table 6 sweep ranges (paper defaults in bold → dataclass defaults below).
+K_VALUES = (1, 5, 10, 15, 20)
+ITEM_COUNTS = (25, 50, 100, 200, 400, 800, None)
+CONFIDENCES = (0.80, 0.85, 0.90, 0.95, 0.98)
+BUDGETS = (30, 100, 200, 500, 1000, 2000, 4000)
+SWEET_SPOTS = (1.25, 1.50, 1.75, 2.00)
+REFERENCE_CHANGES = (0, 1, 2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class ExperimentParams:
+    """One experiment cell: dataset, query, comparison and run settings.
+
+    ``seed`` controls both the per-run random streams and (separately) the
+    synthetic dataset generation through ``dataset_seed`` — keeping the
+    item universe fixed while runs vary is what the paper's 100-run
+    averages do.
+    """
+
+    dataset: str = "imdb"
+    n_items: int | None = None
+    k: int = 10
+    confidence: float = 0.98
+    budget: int | None = 1000
+    min_workload: int = 30
+    batch_size: int = 30
+    estimator: str = "student"
+    sweet_spot: float = 1.5
+    max_reference_changes: int = 2
+    n_runs: int = 10
+    seed: int = 0
+    dataset_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigError(f"k must be >= 1, got {self.k}")
+        if self.n_items is not None and self.n_items <= self.k:
+            raise ConfigError(
+                f"n_items ({self.n_items}) must exceed k ({self.k})"
+            )
+        if self.n_runs < 1:
+            raise ConfigError(f"n_runs must be >= 1, got {self.n_runs}")
+
+    def comparison_config(self) -> ComparisonConfig:
+        """The comparison process configuration this cell implies."""
+        return ComparisonConfig(
+            confidence=self.confidence,
+            budget=self.budget,
+            min_workload=self.min_workload,
+            batch_size=self.batch_size,
+            estimator=self.estimator,  # type: ignore[arg-type]
+        )
+
+    def spr_config(self) -> SPRConfig:
+        """The SPR configuration this cell implies."""
+        return SPRConfig(
+            comparison=self.comparison_config(),
+            sweet_spot=self.sweet_spot,
+            max_reference_changes=self.max_reference_changes,
+        )
+
+    def with_(self, **changes: object) -> "ExperimentParams":
+        """Return a copy with ``changes`` applied (validated)."""
+        return replace(self, **changes)  # type: ignore[arg-type]

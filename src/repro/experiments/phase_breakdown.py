@@ -1,0 +1,67 @@
+"""Where does SPR's money go?  Per-phase cost/latency breakdown.
+
+A diagnostic the paper's complexity analysis implies but never tabulates:
+selection should cost ``O(Nw)`` like partitioning (its problem-(2) budget
+is exactly that), and ranking should be small.  This experiment runs SPR
+across the datasets and attributes every microtask and round to its phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SPRConfig
+from ..core.spr import spr_topk
+from ..datasets import load_dataset
+from ..rng import make_rng, spawn_many
+from .params import ExperimentParams
+from .reporting import Report
+
+__all__ = ["run_phase_breakdown"]
+
+
+def run_phase_breakdown(
+    datasets: tuple[str, ...] = ("imdb", "book", "jester", "photo"),
+    n_runs: int = 3,
+    seed: int = 0,
+) -> Report:
+    """Average SPR cost split into selection / partition / rank (+recursion)."""
+    report = Report(
+        title="SPR phase breakdown (mean microtasks per query, defaults)",
+        columns=["selection", "partition", "rank+recursion", "total"],
+    )
+    for name in datasets:
+        params = ExperimentParams(dataset=name, n_runs=n_runs, seed=seed)
+        dataset = load_dataset(name, seed=params.dataset_seed)
+        root = make_rng(seed)
+        rngs = spawn_many(root, n_runs)
+        config = params.comparison_config()
+        selection, partition, tail, total = [], [], [], []
+        for run in range(n_runs):
+            session = dataset.session(config, seed=rngs[run])
+            result = spr_topk(
+                session,
+                dataset.items.ids.tolist(),
+                params.k,
+                SPRConfig(comparison=config),
+            )
+            sel = result.selection.cost if result.selection else 0
+            part = result.partition_result.cost if result.partition_result else 0
+            selection.append(sel)
+            partition.append(part)
+            tail.append(result.cost - sel - part)
+            total.append(result.cost)
+        report.add_row(
+            name,
+            [
+                float(np.mean(selection)),
+                float(np.mean(partition)),
+                float(np.mean(tail)),
+                float(np.mean(total)),
+            ],
+        )
+    report.add_note(
+        f"averaged over {n_runs} runs, seed={seed}; 'rank+recursion' is the "
+        "remainder after the outermost selection and partition"
+    )
+    return report

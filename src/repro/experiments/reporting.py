@@ -1,0 +1,119 @@
+"""Plain-text reports mirroring the paper's tables and figure series.
+
+Reports render as aligned text (the benchmark artifacts under
+``benchmarks/results/``) and export to dict / JSON / CSV for downstream
+tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["Report"]
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,d}"
+    return str(value)
+
+
+@dataclass
+class Report:
+    """A labelled table of results (one per paper table / figure panel).
+
+    ``rows`` maps a row label (usually a method name) to a list of cell
+    values aligned with ``columns`` (usually the swept parameter values).
+    """
+
+    title: str
+    columns: list[str]
+    rows: dict[str, list[object]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, label: str, values: list[object]) -> None:
+        """Append one row, validating its width."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row {label!r} has {len(values)} cells, expected {len(self.columns)}"
+            )
+        self.rows[label] = list(values)
+
+    def add_note(self, note: str) -> None:
+        """Attach a footnote (run counts, deviations, …)."""
+        self.notes.append(note)
+
+    def to_text(self) -> str:
+        """Render as an aligned plain-text table."""
+        label_width = max([len(r) for r in self.rows] + [8])
+        cells = {
+            label: [_format_cell(v) for v in values]
+            for label, values in self.rows.items()
+        }
+        widths = [
+            max([len(col)] + [cells[label][pos] and len(cells[label][pos]) or 1
+                              for label in cells])
+            for pos, col in enumerate(self.columns)
+        ]
+        lines = [self.title]
+        header = " " * label_width + " | " + " | ".join(
+            col.rjust(width) for col, width in zip(self.columns, widths)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for label, row in cells.items():
+            lines.append(
+                label.ljust(label_width)
+                + " | "
+                + " | ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Structured form: title, columns, rows, notes."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": {label: list(values) for label, values in self.rows.items()},
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON rendering (NaNs serialized as nulls)."""
+
+        def clean(value: object) -> object:
+            if isinstance(value, float) and value != value:
+                return None
+            return value
+
+        payload = self.to_dict()
+        payload["rows"] = {
+            label: [clean(v) for v in values]
+            for label, values in payload["rows"].items()
+        }
+        return json.dumps(payload, indent=indent)
+
+    def to_csv(self) -> str:
+        """CSV rendering with a leading label column."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["label", *self.columns])
+        for label, values in self.rows.items():
+            writer.writerow([label, *values])
+        return buffer.getvalue()
+
+    def __str__(self) -> str:
+        return self.to_text()

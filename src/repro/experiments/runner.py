@@ -1,0 +1,147 @@
+"""Multi-run experiment execution with seed management.
+
+``run_method`` executes one algorithm on one parameter cell ``n_runs``
+times — fresh session and (for cardinality sweeps) a fresh random item
+subset per run — and aggregates cost, latency and quality.  All randomness
+flows from the cell's seed, so every number in EXPERIMENTS.md is
+regenerable bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..algorithms import ALGORITHMS, infimum_estimate
+from ..algorithms.base import TopKOutcome
+from ..datasets import load_dataset
+from ..errors import AlgorithmError
+from ..metrics import ndcg_at_k, top_k_precision
+from ..rng import make_rng, spawn_many
+from .params import ExperimentParams
+
+__all__ = ["RunRecord", "MethodStats", "run_method", "run_methods", "run_infimum"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One run's measurements."""
+
+    method: str
+    cost: int
+    rounds: int
+    ndcg: float
+    precision: float
+    wall_seconds: float
+    extras: dict
+
+
+@dataclass(frozen=True)
+class MethodStats:
+    """Aggregates of one method on one parameter cell."""
+
+    method: str
+    n_runs: int
+    mean_cost: float
+    std_cost: float
+    mean_rounds: float
+    std_rounds: float
+    mean_ndcg: float
+    std_ndcg: float
+    mean_precision: float
+    runs: tuple[RunRecord, ...]
+
+    @classmethod
+    def from_runs(cls, method: str, runs: list[RunRecord]) -> "MethodStats":
+        if not runs:
+            raise AlgorithmError("cannot aggregate zero runs")
+        costs = np.asarray([r.cost for r in runs], dtype=np.float64)
+        rounds = np.asarray([r.rounds for r in runs], dtype=np.float64)
+        ndcgs = np.asarray([r.ndcg for r in runs], dtype=np.float64)
+        precisions = np.asarray([r.precision for r in runs], dtype=np.float64)
+        return cls(
+            method=method,
+            n_runs=len(runs),
+            mean_cost=float(costs.mean()),
+            std_cost=float(costs.std(ddof=1)) if len(runs) > 1 else 0.0,
+            mean_rounds=float(rounds.mean()),
+            std_rounds=float(rounds.std(ddof=1)) if len(runs) > 1 else 0.0,
+            mean_ndcg=float(ndcgs.mean()),
+            std_ndcg=float(ndcgs.std(ddof=1)) if len(runs) > 1 else 0.0,
+            mean_precision=float(precisions.mean()),
+            runs=tuple(runs),
+        )
+
+
+def _execute_runs(
+    params: ExperimentParams,
+    execute,  # (session, working ItemSet, run rng) -> TopKOutcome
+    method_name: str,
+) -> MethodStats:
+    """Shared run loop: seeds, subsets, sessions, metric collection."""
+    dataset = load_dataset(params.dataset, seed=params.dataset_seed)
+    root = make_rng(params.seed)
+    subset_rngs = spawn_many(root, params.n_runs)
+    session_rngs = spawn_many(root, params.n_runs)
+
+    runs: list[RunRecord] = []
+    config = params.comparison_config()
+    for run in range(params.n_runs):
+        working = dataset.sample_items(params.n_items, subset_rngs[run])
+        session = dataset.session(config, seed=session_rngs[run])
+        started = time.perf_counter()
+        outcome = execute(session, working, session_rngs[run])
+        elapsed = time.perf_counter() - started
+        runs.append(
+            RunRecord(
+                method=method_name,
+                cost=outcome.cost,
+                rounds=outcome.rounds,
+                ndcg=ndcg_at_k(working, outcome.topk, params.k),
+                precision=top_k_precision(working, outcome.topk, params.k),
+                wall_seconds=elapsed,
+                extras=outcome.extras,
+            )
+        )
+    return MethodStats.from_runs(method_name, runs)
+
+
+def run_method(
+    method: str, params: ExperimentParams, **method_kwargs: object
+) -> MethodStats:
+    """Run one registered algorithm over ``params.n_runs`` fresh runs.
+
+    ``method_kwargs`` are forwarded to the algorithm (e.g. ``budget=`` for
+    the budget-matched baselines, ``spr_config=`` overrides).
+    """
+    try:
+        algorithm = ALGORITHMS[method]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise AlgorithmError(f"unknown method {method!r}; known: {known}") from None
+
+    if method == "spr" and "spr_config" not in method_kwargs:
+        method_kwargs = {**method_kwargs, "spr_config": params.spr_config()}
+
+    def execute(session, working, _rng) -> TopKOutcome:
+        return algorithm(session, working.ids.tolist(), params.k, **method_kwargs)
+
+    return _execute_runs(params, execute, method)
+
+
+def run_methods(
+    methods: list[str], params: ExperimentParams
+) -> dict[str, MethodStats]:
+    """Run several methods on the same cell (independent seed streams)."""
+    return {method: run_method(method, params) for method in methods}
+
+
+def run_infimum(params: ExperimentParams) -> MethodStats:
+    """Measure the Lemma-1 infimum on a parameter cell (same run regime)."""
+
+    def execute(session, working, _rng) -> TopKOutcome:
+        return infimum_estimate(session, working, params.k)
+
+    return _execute_runs(params, execute, "infimum")

@@ -1,0 +1,86 @@
+"""Scalability sweeps — Figures 8-11 (IMDb, Book) and 18-21 (Jester, Photo).
+
+One generic sweep drives all eight figures: vary exactly one of
+``k`` / ``n`` (item cardinality) / ``confidence`` / ``budget`` while the
+rest stay at the paper defaults, and report the TMC series and the latency
+series for SPR, tournament tree, heap sort, quick selection, plus the
+Lemma-1 infimum.
+"""
+
+from __future__ import annotations
+
+from ..datasets import load_dataset
+from ..errors import ConfigError
+from .params import BUDGETS, CONFIDENCES, ITEM_COUNTS, K_VALUES, ExperimentParams
+from .reporting import Report
+from .runner import run_infimum, run_method
+
+__all__ = ["run_scalability", "SCALABILITY_METHODS", "SWEEPS"]
+
+SCALABILITY_METHODS = ("spr", "tournament", "heapsort", "quickselect")
+
+#: Swept parameter name → (params field, Table-6 values, column formatter).
+SWEEPS = {
+    "k": ("k", K_VALUES, lambda v: f"k={v}"),
+    "n": ("n_items", ITEM_COUNTS, lambda v: f"N={'All' if v is None else v}"),
+    "confidence": ("confidence", CONFIDENCES, lambda v: f"1-a={v}"),
+    "budget": ("budget", BUDGETS, lambda v: f"B={v}"),
+}
+
+
+def run_scalability(
+    vary: str,
+    params: ExperimentParams | None = None,
+    values: tuple | None = None,
+    methods: tuple[str, ...] = SCALABILITY_METHODS,
+    include_infimum: bool = True,
+) -> tuple[Report, Report]:
+    """Run one scalability sweep; returns ``(tmc_report, latency_report)``."""
+    if vary not in SWEEPS:
+        known = ", ".join(SWEEPS)
+        raise ConfigError(f"unknown sweep {vary!r}; known: {known}")
+    params = params if params is not None else ExperimentParams()
+    fieldname, default_values, fmt = SWEEPS[vary]
+    values = default_values if values is None else values
+    if vary == "n":
+        # A subset size at or above the dataset is just "All"; keep one
+        # such column instead of duplicating it per oversized value.
+        size = len(load_dataset(params.dataset, seed=params.dataset_seed))
+        values = tuple(
+            None if (v is None or v >= size) else v for v in values
+        )
+        values = tuple(dict.fromkeys(values))
+
+    # Keep every cell valid: a subset sweep must leave room for k items.
+    cells = []
+    for value in values:
+        try:
+            cell = params.with_(**{fieldname: value})
+        except ConfigError:
+            continue
+        cells.append((value, cell))
+
+    columns = [fmt(value) for value, _ in cells]
+    tmc = Report(
+        title=f"TMC vs {vary} on {params.dataset}",
+        columns=columns,
+    )
+    latency = Report(
+        title=f"Latency (rounds) vs {vary} on {params.dataset}",
+        columns=columns,
+    )
+    for method in methods:
+        stats = [run_method(method, cell) for _, cell in cells]
+        tmc.add_row(method, [s.mean_cost for s in stats])
+        latency.add_row(method, [s.mean_rounds for s in stats])
+    if include_infimum:
+        stats = [run_infimum(cell) for _, cell in cells]
+        tmc.add_row("infimum", [s.mean_cost for s in stats])
+        latency.add_row("infimum", [s.mean_rounds for s in stats])
+    for report in (tmc, latency):
+        report.add_note(
+            f"averaged over {params.n_runs} runs, seed={params.seed}, "
+            f"defaults: N={params.n_items or 'All'}, k={params.k}, "
+            f"1-a={params.confidence}, B={params.budget}"
+        )
+    return tmc, latency

@@ -1,0 +1,49 @@
+"""Figure 17 (Appendix F) — SteinComp vs StudentComp inside SPR.
+
+Reruns the Figure-8 k-sweep with Stein's estimation replacing Student's t
+and reports both series plus their relative difference; the paper finds
+them analogous and standardizes on Student.
+"""
+
+from __future__ import annotations
+
+from .params import K_VALUES, ExperimentParams
+from .reporting import Report
+from .runner import run_method
+
+__all__ = ["run_stein_vs_student"]
+
+
+def run_stein_vs_student(
+    dataset: str = "imdb",
+    k_values: tuple[int, ...] = K_VALUES,
+    n_runs: int = 5,
+    seed: int = 0,
+    n_items: int | None = None,
+) -> Report:
+    """Regenerate Figure 17 (SPR TMC vs k, Student vs Stein)."""
+    report = Report(
+        title=f"Figure 17: Student vs Stein (SPR TMC vs k on {dataset})",
+        columns=[f"k={k}" for k in k_values],
+    )
+    series = {}
+    for estimator in ("student", "stein"):
+        costs = []
+        for k in k_values:
+            params = ExperimentParams(
+                dataset=dataset,
+                k=k,
+                estimator=estimator,
+                n_runs=n_runs,
+                seed=seed,
+                n_items=n_items,
+            )
+            costs.append(run_method("spr", params).mean_cost)
+        series[estimator] = costs
+        report.add_row(estimator, costs)
+    report.add_row(
+        "stein/student",
+        [s / t if t else float("nan") for s, t in zip(series["stein"], series["student"])],
+    )
+    report.add_note(f"averaged over {n_runs} runs, seed={seed}")
+    return report

@@ -1,0 +1,37 @@
+"""Figure 12 — performance summary at the default settings.
+
+One bar group per dataset: TMC and latency of every confidence-aware
+method next to the Lemma-1 infimum, showing SPR as the only method that
+approaches the bound.
+"""
+
+from __future__ import annotations
+
+from .params import ExperimentParams
+from .reporting import Report
+from .runner import run_infimum, run_method
+
+__all__ = ["run_summary"]
+
+
+def run_summary(
+    datasets: tuple[str, ...] = ("imdb", "book"),
+    methods: tuple[str, ...] = ("spr", "tournament", "heapsort", "quickselect"),
+    n_runs: int = 5,
+    seed: int = 0,
+) -> tuple[Report, Report]:
+    """Regenerate Figure 12; returns ``(tmc_report, latency_report)``."""
+    columns = list(methods) + ["infimum"]
+    tmc = Report(title="Figure 12: TMC summary (defaults)", columns=columns)
+    latency = Report(
+        title="Figure 12: latency summary (defaults)", columns=columns
+    )
+    for dataset in datasets:
+        params = ExperimentParams(dataset=dataset, n_runs=n_runs, seed=seed)
+        stats = [run_method(method, params) for method in methods]
+        stats.append(run_infimum(params))
+        tmc.add_row(dataset, [s.mean_cost for s in stats])
+        latency.add_row(dataset, [s.mean_rounds for s in stats])
+    for report in (tmc, latency):
+        report.add_note(f"averaged over {n_runs} runs, seed={seed}")
+    return tmc, latency

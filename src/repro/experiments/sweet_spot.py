@@ -1,0 +1,36 @@
+"""Figure 16 (Appendix F) — SPR's TMC as a function of the sweet-spot c.
+
+The paper finds SPR stable across c ∈ {1.25, 1.5, 1.75, 2.0} and fixes
+c = 1.5; this sweep regenerates that robustness check.
+"""
+
+from __future__ import annotations
+
+from .params import SWEET_SPOTS, ExperimentParams
+from .reporting import Report
+from .runner import run_method
+
+__all__ = ["run_sweet_spot"]
+
+
+def run_sweet_spot(
+    datasets: tuple[str, ...] = ("imdb", "book"),
+    values: tuple[float, ...] = SWEET_SPOTS,
+    n_runs: int = 5,
+    seed: int = 0,
+) -> Report:
+    """Regenerate Figure 16 (SPR TMC vs sweet-spot range c)."""
+    report = Report(
+        title="Figure 16: SPR TMC vs sweet-spot range c",
+        columns=[f"c={c}" for c in values],
+    )
+    for dataset in datasets:
+        row = []
+        for c in values:
+            params = ExperimentParams(
+                dataset=dataset, sweet_spot=c, n_runs=n_runs, seed=seed
+            )
+            row.append(run_method("spr", params).mean_cost)
+        report.add_row(dataset, row)
+    report.add_note(f"averaged over {n_runs} runs, seed={seed}")
+    return report

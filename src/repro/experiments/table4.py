@@ -1,0 +1,44 @@
+"""Table 4 — effect of the reference-change optimization on SPR workload.
+
+SPR runs on IMDb defaults with the maximum number of reference changes
+swept over {0, 1, 2, 4, 8, 16}.  The paper finds a shallow optimum around
+2-4 changes: each change defers difficult comparisons to a better
+reference, but also discards the evidence already bought against the old
+one.
+"""
+
+from __future__ import annotations
+
+from .params import REFERENCE_CHANGES, ExperimentParams
+from .reporting import Report
+from .runner import run_method
+
+__all__ = ["run_table4"]
+
+
+def run_table4(
+    params: ExperimentParams | None = None,
+    changes: tuple[int, ...] = REFERENCE_CHANGES,
+) -> Report:
+    """Regenerate Table 4 (SPR workload vs max reference changes)."""
+    params = params if params is not None else ExperimentParams()
+    report = Report(
+        title=f"Table 4: reference changes on {params.dataset} "
+        f"(N={params.n_items or 'All'}, k={params.k})",
+        columns=[f"times={c}" for c in changes],
+    )
+    workloads = []
+    realized = []
+    for max_changes in changes:
+        stats = run_method(
+            "spr", params.with_(max_reference_changes=max_changes)
+        )
+        workloads.append(stats.mean_cost)
+        realized.append(
+            sum(r.extras.get("reference_changes", 0) for r in stats.runs)
+            / stats.n_runs
+        )
+    report.add_row("Work.", workloads)
+    report.add_row("realized changes", realized)
+    report.add_note(f"averaged over {params.n_runs} runs, seed={params.seed}")
+    return report

@@ -1,0 +1,52 @@
+"""Table 7 — TMC of the confidence-aware methods on all four datasets.
+
+The headline comparison: SPR vs tournament tree, heap sort, quick
+selection and preference-based racing at the default settings (k=10,
+1-α=0.98, B=1000, full datasets).
+"""
+
+from __future__ import annotations
+
+from .params import ExperimentParams
+from .reporting import Report
+from .runner import run_method
+
+__all__ = ["run_table7", "TABLE7_METHODS", "TABLE7_DATASETS"]
+
+TABLE7_METHODS = ("spr", "tournament", "heapsort", "quickselect", "pbr")
+TABLE7_DATASETS = ("imdb", "book", "jester", "photo")
+
+
+def run_table7(
+    datasets: tuple[str, ...] = TABLE7_DATASETS,
+    methods: tuple[str, ...] = TABLE7_METHODS,
+    n_runs: int = 5,
+    seed: int = 0,
+    pbr_datasets: tuple[str, ...] | None = None,
+) -> Report:
+    """Regenerate Table 7 (TMC per method per dataset).
+
+    ``pbr_datasets`` optionally restricts PBR to a subset of the datasets —
+    its quadratic racing makes it by far the slowest cell of the whole
+    harness (that expense being the very point of the comparison).
+    """
+    report = Report(
+        title="Table 7: TMC of confidence-aware methods (defaults)",
+        columns=[m for m in methods],
+    )
+    for dataset in datasets:
+        params = ExperimentParams(dataset=dataset, n_runs=n_runs, seed=seed)
+        row: list[object] = []
+        for method in methods:
+            if (
+                method == "pbr"
+                and pbr_datasets is not None
+                and dataset not in pbr_datasets
+            ):
+                row.append(float("nan"))
+                continue
+            stats = run_method(method, params)
+            row.append(stats.mean_cost)
+        report.add_row(dataset, row)
+    report.add_note(f"averaged over {n_runs} runs, seed={seed}")
+    return report

@@ -1,0 +1,125 @@
+"""Crowdsourcing economics — Appendix B of the paper.
+
+The paper classifies crowdsourcing work into four categories (Table 8) and
+prices its own microtasks at 0.1 US cents each on CrowdFlower.  This
+module carries that operational context into code: category metadata, a
+dollar calculator, and a session bill that turns ledger readings into the
+numbers a deployment actually budgets for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..crowd.session import CrowdSession
+
+__all__ = [
+    "TaskCategory",
+    "TASK_CATEGORIES",
+    "MICROTASK_UNIT_COST_USD",
+    "dollars_for",
+    "CostBreakdown",
+    "session_bill",
+]
+
+#: The paper's observed unit price: 0.1 US cents per pairwise microtask
+#: (both binary and preference questions — Appendix B measures the same
+#: price and near-identical answer times for both).
+MICROTASK_UNIT_COST_USD = 0.001
+
+
+@dataclass(frozen=True)
+class TaskCategory:
+    """One row of Table 8: a class of crowdsourcing work."""
+
+    name: str
+    volume: str
+    cost: str
+    examples: tuple[str, ...]
+
+
+#: Table 8 — crowdsourcing task categories.  Pairwise judgments (binary
+#: and preference alike) belong to the "micro" category.
+TASK_CATEGORIES = {
+    "micro": TaskCategory(
+        name="micro",
+        volume="very high",
+        cost="very low",
+        examples=(
+            "label an image",
+            "verify an address",
+            "simple entity resolution",
+            "pairwise preference judgment",
+        ),
+    ),
+    "macro": TaskCategory(
+        name="macro",
+        volume="high",
+        cost="low",
+        examples=(
+            "write a restaurant review",
+            "test a new website feature",
+            "identify a galaxy",
+        ),
+    ),
+    "simple": TaskCategory(
+        name="simple",
+        volume="low",
+        cost="moderate",
+        examples=("design a logo", "write a term paper"),
+    ),
+    "complex": TaskCategory(
+        name="complex",
+        volume="single",
+        cost="high",
+        examples=("build a website", "develop a software system"),
+    ),
+}
+
+
+def dollars_for(
+    microtasks: int, unit_cost_usd: float = MICROTASK_UNIT_COST_USD
+) -> float:
+    """US-dollar cost of ``microtasks`` at the given unit price."""
+    if microtasks < 0:
+        raise ValueError(f"microtasks must be >= 0, got {microtasks}")
+    if unit_cost_usd < 0:
+        raise ValueError(f"unit_cost_usd must be >= 0, got {unit_cost_usd}")
+    return microtasks * unit_cost_usd
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Everything a deployment budgets for, derived from one session."""
+
+    microtasks: int
+    comparisons: int
+    rounds: int
+    dollars: float
+    mean_workload: float
+
+    def summary(self) -> str:
+        """One-line human-readable bill."""
+        return (
+            f"{self.microtasks:,} microtasks over {self.comparisons:,} "
+            f"comparisons ({self.mean_workload:.1f} avg) in "
+            f"{self.rounds:,} rounds — US${self.dollars:,.2f}"
+        )
+
+
+def session_bill(
+    session: "CrowdSession",
+    unit_cost_usd: float = MICROTASK_UNIT_COST_USD,
+) -> CostBreakdown:
+    """Turn a session's ledgers into a :class:`CostBreakdown`."""
+    microtasks = session.cost.microtasks
+    comparisons = session.cost.comparisons
+    return CostBreakdown(
+        microtasks=microtasks,
+        comparisons=comparisons,
+        rounds=session.latency.rounds,
+        dollars=dollars_for(microtasks, unit_cost_usd),
+        mean_workload=microtasks / comparisons if comparisons else 0.0,
+    )

@@ -1,0 +1,127 @@
+"""Incremental top-k maintenance — keep a result fresh as items arrive.
+
+A production ranking rarely answers one query and stops: new candidates
+keep arriving (new translations, new photos) and yesterday's top-k must be
+updated without re-running the whole query.  Because every judgment is
+cached, maintenance is cheap:
+
+1. Compare the new item against the *boundary* (the current k-th item).
+   If it loses, the top-k is unchanged — one comparison total, exactly the
+   pruning cost Lemma 1 assigns to a non-result item.
+2. If it wins (or ties the boundary), binary-search its slot within the
+   current top-k by crowd comparisons and insert it, dropping the old
+   k-th item.
+
+This is an extension beyond the paper (which treats queries as one-shot),
+but it is built purely from the paper's own comparison process and cost
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..core.outcomes import Outcome
+from ..core.sorting import resolve_winner
+from ..errors import AlgorithmError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..crowd.session import CrowdSession
+
+__all__ = ["InsertionResult", "insert_item"]
+
+
+@dataclass(frozen=True)
+class InsertionResult:
+    """Outcome of offering one new item to an existing top-k."""
+
+    topk: tuple[int, ...]
+    accepted: bool
+    evicted: int | None
+    cost: int
+    rounds: int
+    comparisons: int
+
+
+def insert_item(
+    session: "CrowdSession",
+    topk: list[int],
+    new_item: int,
+    *,
+    evict: bool = True,
+) -> InsertionResult:
+    """Offer ``new_item`` to the current ``topk`` (best first).
+
+    Returns the updated list.  With ``evict=True`` (the default) the list
+    keeps its length — the displaced k-th item drops out; with
+    ``evict=False`` the list grows by one when the item is accepted.
+    Ties against the boundary resolve by the observed-mean heuristic, like
+    every other forced choice in the library.
+    """
+    current = [int(i) for i in topk]
+    new_item = int(new_item)
+    if not current:
+        raise AlgorithmError("cannot insert into an empty top-k")
+    if len(set(current)) != len(current):
+        raise AlgorithmError("topk must not contain duplicates")
+    if new_item in current:
+        raise AlgorithmError(f"item {new_item} is already in the top-k")
+
+    before_cost, before_rounds = session.spent()
+    comparisons = 0
+
+    # Step 1: the boundary test (the Lemma-1 prune comparison).
+    boundary = current[-1]
+    record = session.compare(new_item, boundary)
+    comparisons += 1
+    new_wins = (
+        record.outcome is Outcome.LEFT
+        or (
+            record.outcome is Outcome.TIE
+            and resolve_winner(record, session.rng) == new_item
+        )
+    )
+    if not new_wins:
+        cost, rounds = session.spent()
+        return InsertionResult(
+            topk=tuple(current),
+            accepted=False,
+            evicted=None,
+            cost=cost - before_cost,
+            rounds=rounds - before_rounds,
+            comparisons=comparisons,
+        )
+
+    # Step 2: binary-search the slot among positions 0..len-1 (the new
+    # item already beat the last one).
+    lo, hi = 0, len(current) - 1  # slot in [lo, hi]
+    while lo < hi:
+        mid = (lo + hi) // 2
+        record = session.compare(new_item, current[mid])
+        comparisons += 1
+        beats_mid = (
+            record.outcome is Outcome.LEFT
+            or (
+                record.outcome is Outcome.TIE
+                and resolve_winner(record, session.rng) == new_item
+            )
+        )
+        if beats_mid:
+            hi = mid
+        else:
+            lo = mid + 1
+
+    updated = current[:lo] + [new_item] + current[lo:]
+    evicted = None
+    if evict:
+        evicted = updated.pop()
+    cost, rounds = session.spent()
+    return InsertionResult(
+        topk=tuple(updated),
+        accepted=True,
+        evicted=evicted,
+        cost=cost - before_cost,
+        rounds=rounds - before_rounds,
+        comparisons=comparisons,
+    )

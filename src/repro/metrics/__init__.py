@@ -1,0 +1,20 @@
+"""Quality metrics for top-k results (§6.2)."""
+
+from .accuracy import comparison_accuracy
+from .ndcg import dcg, ndcg_at_k
+from .ranking import (
+    kendall_tau,
+    spearman_footrule,
+    top_k_precision,
+    top_k_recall,
+)
+
+__all__ = [
+    "comparison_accuracy",
+    "dcg",
+    "kendall_tau",
+    "ndcg_at_k",
+    "spearman_footrule",
+    "top_k_precision",
+    "top_k_recall",
+]

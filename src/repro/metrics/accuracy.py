@@ -1,0 +1,23 @@
+"""Comparison-level accuracy (the "Acc." rows of Table 3)."""
+
+from __future__ import annotations
+
+from ..core.comparison import ComparisonRecord
+from ..core.items import ItemSet
+from ..core.outcomes import Outcome
+
+__all__ = ["comparison_accuracy"]
+
+
+def comparison_accuracy(items: ItemSet, record: ComparisonRecord) -> float | None:
+    """Whether a comparison verdict follows the ground-truth order Ω.
+
+    Returns 1.0 / 0.0 for decided comparisons and ``None`` for ties —
+    Table 3 averages accuracy over decided comparisons only (with
+    ``B = ∞`` every comparison decides).
+    """
+    if record.outcome is Outcome.TIE:
+        return None
+    true_left_better = items.rank_of(record.left) < items.rank_of(record.right)
+    verdict_left_better = record.outcome is Outcome.LEFT
+    return 1.0 if true_left_better == verdict_left_better else 0.0

@@ -1,0 +1,109 @@
+"""Persisting crowd state across queries and processes.
+
+§5.3: "all human preference feedback can be stored and the results of
+comparisons are always *reusable*."  Within a process the
+:class:`~repro.core.cache.JudgmentCache` provides that reuse; this module
+extends it across processes — a deployment that ran a top-5 query
+yesterday should not re-purchase a single microtask when today's top-10
+query touches the same pairs.
+
+Two formats:
+
+* ``save_cache`` / ``load_cache`` — compressed numpy archive of the raw
+  bags (lossless, compact; the natural operational format).
+* ``cache_to_json`` / ``cache_from_json`` — human-readable interchange for
+  audits and cross-tool exchange.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .core.cache import JudgmentCache
+from .errors import CrowdTopkError
+
+__all__ = [
+    "save_cache",
+    "load_cache",
+    "cache_to_json",
+    "cache_from_json",
+]
+
+_FORMAT_VERSION = 1
+
+
+def save_cache(cache: JudgmentCache, path: str | os.PathLike) -> None:
+    """Write all judgment bags to a compressed ``.npz`` archive."""
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {
+        "__meta__": np.asarray([_FORMAT_VERSION], dtype=np.int64)
+    }
+    index = []
+    for number, (a, b) in enumerate(cache.pairs()):
+        arrays[f"bag_{number}"] = cache.bag(a, b)
+        index.append((a, b))
+    arrays["__pairs__"] = np.asarray(index, dtype=np.int64).reshape(-1, 2)
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+
+
+def load_cache(path: str | os.PathLike) -> JudgmentCache:
+    """Read a judgment cache written by :func:`save_cache`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        if "__meta__" not in archive or "__pairs__" not in archive:
+            raise CrowdTopkError(f"{path} is not a crowd-topk cache archive")
+        version = int(archive["__meta__"][0])
+        if version != _FORMAT_VERSION:
+            raise CrowdTopkError(
+                f"cache archive version {version} is not supported "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        cache = JudgmentCache()
+        pairs = archive["__pairs__"]
+        for number, (a, b) in enumerate(pairs):
+            cache.append(int(a), int(b), archive[f"bag_{number}"])
+    return cache
+
+
+def cache_to_json(cache: JudgmentCache) -> str:
+    """Serialize all judgment bags as a JSON document."""
+    payload = {
+        "format": "crowd-topk-cache",
+        "version": _FORMAT_VERSION,
+        "pairs": [
+            {
+                "left": a,
+                "right": b,
+                "judgments": cache.bag(a, b).tolist(),
+            }
+            for a, b in cache.pairs()
+        ],
+    }
+    return json.dumps(payload)
+
+
+def cache_from_json(document: str) -> JudgmentCache:
+    """Deserialize a cache produced by :func:`cache_to_json`."""
+    try:
+        payload = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise CrowdTopkError(f"invalid cache JSON: {exc}") from None
+    if not isinstance(payload, dict) or payload.get("format") != "crowd-topk-cache":
+        raise CrowdTopkError("document is not a crowd-topk cache")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise CrowdTopkError(
+            f"cache version {payload.get('version')} is not supported"
+        )
+    cache = JudgmentCache()
+    for entry in payload.get("pairs", []):
+        cache.append(
+            int(entry["left"]),
+            int(entry["right"]),
+            np.asarray(entry["judgments"], dtype=np.float64),
+        )
+    return cache

@@ -1,0 +1,72 @@
+"""Comparison-cost bounds for median selection (Appendix C, Table 10).
+
+Reference selection ends by picking the median of ``m`` sample maxima.  The
+paper bounds the comparisons this takes for several sorting algorithms; the
+bubble-sort bound feeds the constraint of optimization problem (2).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "bubble_median_comparisons",
+    "median_cost_upper_bound",
+    "MEDIAN_COST_BOUNDS",
+]
+
+
+def bubble_median_comparisons(m: int) -> int:
+    """Exact comparisons of the partial bubble sort of Appendix C.
+
+    The pass structure sinks one extremum per pass; after ``⌈m/2⌉`` passes
+    the median is in place, costing ``Σ_{i=1}^{⌈m/2⌉} (m - i)`` comparisons.
+    This exact count is below the paper's closed-form bound
+    ``(3m² + m - 2) / 8``.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    passes = (m + 1) // 2
+    return passes * m - passes * (passes + 1) // 2
+
+
+def _bubble_bound(m: float) -> float:
+    return (3.0 * m * m + m - 2.0) / 8.0
+
+
+def _selection_bound(m: float) -> float:
+    return (3.0 * m * m + m - 2.0) / 8.0
+
+
+def _merge_bound(m: float) -> float:
+    return 3.0 * m * math.log2(m) if m > 1 else 0.0
+
+
+def _heap_bound(m: float) -> float:
+    return m + 2.0 * m * math.log2(m / 2.0) if m > 1 else 0.0
+
+
+def _quick_bound(m: float) -> float:
+    return m * (m - 1.0) / 2.0
+
+
+#: Closed-form upper bounds of Table 10, keyed by algorithm name.
+MEDIAN_COST_BOUNDS = {
+    "bubble": _bubble_bound,
+    "selection": _selection_bound,
+    "merge": _merge_bound,
+    "heap": _heap_bound,
+    "quick": _quick_bound,
+}
+
+
+def median_cost_upper_bound(algorithm: str, m: int) -> float:
+    """Evaluate the Table-10 upper bound for ``algorithm`` on ``m`` numbers."""
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    try:
+        bound = MEDIAN_COST_BOUNDS[algorithm]
+    except KeyError:
+        known = ", ".join(sorted(MEDIAN_COST_BOUNDS))
+        raise ValueError(f"unknown algorithm {algorithm!r}; known: {known}") from None
+    return bound(float(m))

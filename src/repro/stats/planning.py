@@ -1,0 +1,79 @@
+"""Closed-form cost planning — predict before you spend.
+
+Combining Lemma 1 with the Appendix-D workload forms gives a *pencil and
+paper* estimate of what a top-k query must cost, before a single microtask
+is published: the infimum is a sum of per-pair workloads, and each pair's
+workload is (approximately) the Student fixed point for its score gap,
+clamped by the cold start and the budget.
+
+The predictions are expected-scale, not exact — the Monte-Carlo
+:func:`~repro.algorithms.infimum.infimum_estimate` is the measured ground
+truth — but they let an operator budget a deployment from nothing more
+than a guess at the score distribution and the crowd's noise level.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .workload import student_workload
+
+__all__ = ["predict_pair_workload", "predict_infimum_cost"]
+
+
+def predict_pair_workload(
+    gap: float,
+    sigma: float,
+    alpha: float,
+    min_workload: int = 30,
+    budget: int | None = 1000,
+) -> float:
+    """Expected microtasks to separate a pair with score gap ``gap``.
+
+    The Student fixed point, clamped below by the cold start ``I`` and
+    above by the per-pair budget ``B`` (a pair costlier than ``B`` ties at
+    exactly ``B``).  A zero gap is a guaranteed tie: it costs ``B``.
+    """
+    if sigma <= 0:
+        raise ValueError(f"sigma must be > 0, got {sigma}")
+    if min_workload < 2:
+        raise ValueError(f"min_workload must be >= 2, got {min_workload}")
+    cap = float(budget) if budget is not None else float("inf")
+    if gap <= 0:
+        return cap
+    raw = student_workload(gap, sigma, alpha)
+    return float(min(max(raw, float(min_workload)), cap))
+
+
+def predict_infimum_cost(
+    scores: Sequence[float],
+    k: int,
+    sigma: float,
+    alpha: float,
+    min_workload: int = 30,
+    budget: int | None = 1000,
+) -> float:
+    """Closed-form ``TMC_inf`` (Lemma 1) from hidden scores and noise.
+
+    ``scores`` are the items' hidden scores in any order; ``sigma`` is the
+    standard deviation of a single preference judgment.  The prediction
+    sums the k−1 adjacent confirmations and the N−k prunes against the
+    k-th item.
+    """
+    values = np.sort(np.asarray(scores, dtype=np.float64))[::-1]
+    n = len(values)
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    total = 0.0
+    for j in range(k - 1):
+        total += predict_pair_workload(
+            float(values[j] - values[j + 1]), sigma, alpha, min_workload, budget
+        )
+    boundary = float(values[k - 1])
+    for j in range(k, n):
+        total += predict_pair_workload(
+            boundary - float(values[j]), sigma, alpha, min_workload, budget
+        )
+    return total

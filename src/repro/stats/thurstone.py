@@ -1,0 +1,40 @@
+"""Thurstone win probabilities (§5.3).
+
+Given the sample bags of two candidates against a shared reference ``r``,
+the probability that candidate ``i`` truly beats candidate ``j`` is
+approximated by Case-V Thurstone calculation
+
+``Pr{μ_{i,r} > μ_{j,r}} ≈ Φ((μ̂_{i,r} − μ̂_{j,r}) / sqrt(σ̂²_{i,r} + σ̂²_{j,r}))``
+
+which reference-based sorting uses to seed a near-sorted initial order.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy.special import ndtr
+
+__all__ = ["win_probability"]
+
+
+def win_probability(
+    mean_i: float, var_i: float, mean_j: float, var_j: float
+) -> float:
+    """Probability that the distribution behind ``i`` has the larger mean.
+
+    Parameters are the sample means and sample *variances of the means*
+    (i.e. ``S²/n``) of the two bags.  Degenerate (zero-variance) inputs
+    resolve deterministically by mean comparison, with 0.5 on exact ties.
+    """
+    if var_i < 0 or var_j < 0:
+        raise ValueError("variances must be non-negative")
+    spread = math.sqrt(var_i + var_j)
+    diff = mean_i - mean_j
+    if spread == 0.0:
+        if diff > 0:
+            return 1.0
+        if diff < 0:
+            return 0.0
+        return 0.5
+    return float(ndtr(diff / spread))

@@ -1,0 +1,75 @@
+"""Closed-form expected-workload predictors (Appendix D).
+
+How many microtasks will a comparison take?  For planning (and for the
+Figure-15 analysis) the paper derives closed forms for both judgment
+models, given the preference mean ``μ`` and spread ``σ`` of a pair:
+
+* preference + Student's t: the fixed point of
+  ``n = (t_{α/2, n-1} · σ / μ)²``;
+* binary + Hoeffding (Equation (3)): ``n_b = (2/μ̃²)·ln(2/α)`` with the
+  shifted binary mean ``μ̃ = 2Φ(μ/σ) − 1``.
+
+These are *expected-scale* predictions (they replace sample moments with
+their true values and ignore the cold-start floor), useful for intuition,
+budget planning, and the ``n_b − n > 0`` dominance analysis.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy.special import ndtr
+
+from .tdist import t_quantile
+
+__all__ = ["student_workload", "binary_workload", "workload_ratio"]
+
+#: Degrees of freedom beyond which the t quantile is indistinguishable
+#: from the normal quantile — caps the quantile-table growth when a tiny
+#: gap implies an astronomically large fixed point.
+_DF_CAP = 10_000
+
+
+def student_workload(mu: float, sigma: float, alpha: float) -> float:
+    """Expected samples for the t interval to exclude 0 (fixed point).
+
+    Iterates ``n ← (t_{α/2, n-1}·σ/μ)²`` from the normal-quantile start;
+    converges in a handful of steps for every (μ, σ) because the t
+    quantile varies slowly in ``n``.  Clamped below at 2 (a variance needs
+    two samples); degrees of freedom above 10,000 use the asymptotic
+    (normal) quantile.
+    """
+    if mu <= 0 or sigma <= 0:
+        raise ValueError("mu and sigma must be positive")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    ratio = sigma / mu
+    if ratio > 1e150:  # squaring would overflow: the pair is hopeless
+        return float("inf")
+    n = max((2.0 * ratio) ** 2, 2.0)
+    for _ in range(100):
+        df = min(max(int(math.ceil(n)) - 1, 1), _DF_CAP)
+        updated = max((t_quantile(alpha, df) * ratio) ** 2, 2.0)
+        if abs(updated - n) < 1e-9:
+            return updated
+        n = updated
+    return n
+
+
+def binary_workload(mu: float, sigma: float, alpha: float) -> float:
+    """Equation (3): expected binary samples until Hoeffding separates 0."""
+    if mu <= 0 or sigma <= 0:
+        raise ValueError("mu and sigma must be positive")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    shifted = 2.0 * float(ndtr(mu / sigma)) - 1.0
+    return (2.0 / shifted**2) * math.log(2.0 / alpha)
+
+
+def workload_ratio(mu: float, sigma: float, alpha: float) -> float:
+    """``n_b / n`` — how many times more the binary model costs.
+
+    Appendix D's headline: this ratio exceeds 1 for every (μ, σ); it
+    approaches ``π·ln(2/α) / t²_{α/2,∞}`` in the small-gap limit.
+    """
+    return binary_workload(mu, sigma, alpha) / student_workload(mu, sigma, alpha)

@@ -1,0 +1,163 @@
+"""Structured tracing of crowdsourced queries.
+
+A deployment auditing a four-figure crowd bill needs to answer "which
+comparisons cost what, and why?".  A :class:`QueryTrace` subscribes to a
+session and records every comparison the session runs — pair, verdict,
+workload, incremental cost, round count — plus user-defined phase marks.
+Traces render as text timelines and export to JSON for external tooling.
+
+Tracing wraps the session's ``compare`` method (sessions are plain objects
+— no global hooks), so racing pools that buy microtasks in bulk appear as
+their ledger deltas inside the surrounding phase rather than as individual
+events; `phase totals` therefore always reconcile with the ledgers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from .core.comparison import ComparisonRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .crowd.session import CrowdSession
+
+__all__ = ["ComparisonEvent", "PhaseSummary", "QueryTrace", "trace_session"]
+
+
+@dataclass(frozen=True)
+class ComparisonEvent:
+    """One comparison the traced session executed."""
+
+    index: int
+    phase: str
+    left: int
+    right: int
+    outcome: str
+    workload: int
+    cost: int
+    rounds: int
+    cumulative_cost: int
+
+    def line(self) -> str:
+        return (
+            f"[{self.index:4d}] {self.phase:12s} COMP({self.left}, {self.right}) "
+            f"-> {self.outcome:5s} w={self.workload:<5d} +{self.cost:<5d} "
+            f"(total {self.cumulative_cost:,})"
+        )
+
+
+@dataclass(frozen=True)
+class PhaseSummary:
+    """Ledger deltas attributed to one phase."""
+
+    phase: str
+    comparisons: int
+    cost: int
+    rounds: int
+
+
+@dataclass
+class QueryTrace:
+    """Recorded history of one traced session."""
+
+    events: list[ComparisonEvent] = field(default_factory=list)
+    _phase: str = "query"
+    _phase_starts: dict[str, tuple[int, int, int]] = field(default_factory=dict)
+    _phase_totals: dict[str, tuple[int, int, int]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def mark_phase(self, session: "CrowdSession", name: str) -> None:
+        """Close the current phase and open ``name``."""
+        self._close_phase(session)
+        self._phase = name
+        cost, rounds = session.spent()
+        self._phase_starts[name] = (cost, rounds, len(self.events))
+
+    def _close_phase(self, session: "CrowdSession") -> None:
+        start_cost, start_rounds, start_events = self._phase_starts.get(
+            self._phase, (0, 0, 0)
+        )
+        cost, rounds = session.spent()
+        previous = self._phase_totals.get(self._phase, (0, 0, 0))
+        self._phase_totals[self._phase] = (
+            previous[0] + len(self.events) - start_events,
+            previous[1] + cost - start_cost,
+            previous[2] + rounds - start_rounds,
+        )
+
+    def finish(self, session: "CrowdSession") -> None:
+        """Close the open phase (call once, when the query is done)."""
+        self._close_phase(session)
+
+    # ------------------------------------------------------------------
+    def record(self, session: "CrowdSession", record: ComparisonRecord) -> None:
+        self.events.append(
+            ComparisonEvent(
+                index=len(self.events),
+                phase=self._phase,
+                left=record.left,
+                right=record.right,
+                outcome=record.outcome.name,
+                workload=record.workload,
+                cost=record.cost,
+                rounds=record.rounds,
+                cumulative_cost=session.cost.microtasks,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def total_comparisons(self) -> int:
+        return len(self.events)
+
+    @property
+    def cached_comparisons(self) -> int:
+        """Comparisons served entirely from the judgment cache."""
+        return sum(1 for e in self.events if e.cost == 0 and e.workload > 0)
+
+    def phase_summaries(self) -> list[PhaseSummary]:
+        """Ledger-reconciled per-phase totals (after :meth:`finish`)."""
+        return [
+            PhaseSummary(phase=name, comparisons=c, cost=cost, rounds=rounds)
+            for name, (c, cost, rounds) in self._phase_totals.items()
+        ]
+
+    def most_expensive(self, count: int = 5) -> list[ComparisonEvent]:
+        """The comparisons that bought the most microtasks."""
+        return sorted(self.events, key=lambda e: -e.cost)[:count]
+
+    def to_text(self, limit: int | None = 50) -> str:
+        lines = [e.line() for e in (self.events if limit is None else self.events[:limit])]
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "events": [vars(e) for e in self.events],
+                "phases": [vars(p) for p in self.phase_summaries()],
+            }
+        )
+
+
+def trace_session(session: "CrowdSession") -> QueryTrace:
+    """Attach a :class:`QueryTrace` to ``session`` (wraps its compare).
+
+    All comparisons from this point on are recorded; bulk racing-pool
+    spending shows up in the surrounding phase's ledger totals.
+    """
+    trace = QueryTrace()
+    cost, rounds = session.spent()
+    trace._phase_starts["query"] = (cost, rounds, 0)
+    original = session.compare
+
+    def traced_compare(i: int, j: int, *, charge_latency: bool = True):
+        record = original(i, j, charge_latency=charge_latency)
+        trace.record(session, record)
+        return record
+
+    session.compare = traced_compare  # type: ignore[method-assign]
+    return trace

@@ -1,0 +1,51 @@
+"""Shared fixtures: small oracles, sessions and item sets for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ComparisonConfig
+from repro.core.items import ItemSet
+from repro.crowd.oracle import LatentScoreOracle
+from repro.crowd.session import CrowdSession
+from repro.crowd.workers import GaussianNoise
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def make_latent_session(
+    scores,
+    sigma: float = 1.0,
+    seed: int = 0,
+    **config_kwargs,
+) -> CrowdSession:
+    """A session over a latent-score oracle with Gaussian worker noise.
+
+    ``scores`` may be a list/array (dense ids 0..n-1).  Config defaults are
+    test-friendly: fast cold start, generous confidence.
+    """
+    defaults = dict(confidence=0.95, budget=1000, min_workload=2, batch_size=10)
+    defaults.update(config_kwargs)
+    oracle = LatentScoreOracle(np.asarray(scores, dtype=float), GaussianNoise(sigma))
+    return CrowdSession(oracle, ComparisonConfig(**defaults), seed=seed)
+
+
+def make_items(scores) -> ItemSet:
+    """An ItemSet with dense ids over ``scores``."""
+    scores = np.asarray(scores, dtype=float)
+    return ItemSet(ids=np.arange(len(scores)), scores=scores)
+
+
+@pytest.fixture
+def five_item_session() -> CrowdSession:
+    """Five well-separated items: comparisons resolve at the cold start."""
+    return make_latent_session([0.0, 2.0, 4.0, 6.0, 8.0], sigma=0.5, seed=7)
+
+
+@pytest.fixture
+def five_items() -> ItemSet:
+    return make_items([0.0, 2.0, 4.0, 6.0, 8.0])

@@ -1,0 +1,84 @@
+"""Algorithm plumbing: the shared result type, validation, and adapters."""
+
+import pytest
+
+from repro.algorithms import ALGORITHMS
+from repro.algorithms.base import TopKOutcome, measured, validate_query
+from repro.algorithms.spr_adapter import spr_adapter
+from repro.errors import AlgorithmError
+from tests.conftest import make_latent_session
+
+
+class TestValidateQuery:
+    def test_normalizes_ints(self):
+        assert validate_query([1.0, 2.0], 1) == [1, 2]  # numpy/int-likes
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(AlgorithmError):
+            validate_query([1, 1], 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(AlgorithmError):
+            validate_query([], 1)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(AlgorithmError):
+            validate_query([1, 2], 0)
+        with pytest.raises(AlgorithmError):
+            validate_query([1, 2], 3)
+
+
+class TestMeasured:
+    def test_ledger_delta(self):
+        session = make_latent_session([0.0, 5.0], sigma=0.5)
+        before = session.spent()
+        session.compare(1, 0)
+        outcome = measured("demo", session, [1], before, {"note": "x"})
+        assert isinstance(outcome, TopKOutcome)
+        assert outcome.method == "demo"
+        assert outcome.topk == (1,)
+        assert outcome.cost == session.total_cost
+        assert outcome.extras == {"note": "x"}
+
+    def test_default_extras_are_isolated(self):
+        session = make_latent_session([0.0, 5.0], sigma=0.5)
+        a = measured("m", session, [1], (0, 0))
+        b = measured("m", session, [1], (0, 0))
+        a.extras["k"] = 1
+        assert b.extras == {}
+
+
+class TestRegistry:
+    def test_registry_names(self):
+        assert set(ALGORITHMS) == {
+            "spr", "tournament", "heapsort", "quickselect", "pbr", "fullsort",
+        }
+
+    def test_all_registry_entries_share_signature(self):
+        session = make_latent_session(
+            [float(i) for i in range(12)], sigma=0.3, min_workload=5, budget=100
+        )
+        for name, algorithm in ALGORITHMS.items():
+            outcome = algorithm(session, list(range(12)), 2)
+            assert outcome.method == name
+            assert len(outcome.topk) == 2
+
+
+class TestSPRAdapter:
+    def test_extras_expose_diagnostics(self):
+        session = make_latent_session(
+            [float(i) for i in range(20)], sigma=0.3, min_workload=5, budget=100
+        )
+        outcome = spr_adapter(session, list(range(20)), 3)
+        assert "plan_x" in outcome.extras
+        assert "reference" in outcome.extras
+        sizes = outcome.extras["partition_sizes"]
+        assert sum(sizes) == 20
+
+    def test_derives_config_from_session(self):
+        session = make_latent_session(
+            [float(i) for i in range(20)],
+            sigma=0.3, min_workload=5, budget=100, confidence=0.9,
+        )
+        outcome = spr_adapter(session, list(range(20)), 3)
+        assert list(outcome.topk) == [19, 18, 17]

@@ -1,0 +1,281 @@
+"""Baseline top-k algorithms: correctness on clean oracles, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    crowdbt_topk,
+    heapsort_topk,
+    hybrid_spr_topk,
+    hybrid_topk,
+    infimum_estimate,
+    pbr_topk,
+    quickselect_topk,
+    spr_adapter,
+    tournament_topk,
+)
+from repro.algorithms.crowdbt import fit_btl_scores
+from repro.algorithms.infimum import infimum_pairs
+from repro.errors import AlgorithmError
+from tests.conftest import make_items, make_latent_session
+
+SCORES = [float(i) for i in range(24)]
+TRUE_TOP5 = [23, 22, 21, 20, 19]
+
+
+def clean_session(seed=0, **kwargs):
+    defaults = dict(sigma=0.3, min_workload=5, batch_size=10, budget=200)
+    defaults.update(kwargs)
+    return make_latent_session(SCORES, seed=seed, **defaults)
+
+
+CONFIDENCE_AWARE = [
+    ("spr", spr_adapter),
+    ("tournament", tournament_topk),
+    ("heapsort", heapsort_topk),
+    ("quickselect", quickselect_topk),
+    ("pbr", pbr_topk),
+]
+
+
+class TestConfidenceAwareCorrectness:
+    @pytest.mark.parametrize("name,algorithm", CONFIDENCE_AWARE)
+    def test_exact_on_clean_oracle(self, name, algorithm):
+        session = clean_session()
+        outcome = algorithm(session, list(range(24)), 5)
+        assert list(outcome.topk) == TRUE_TOP5, name
+        assert outcome.method == name
+
+    @pytest.mark.parametrize("name,algorithm", CONFIDENCE_AWARE)
+    def test_accounting_matches_session(self, name, algorithm):
+        session = clean_session(seed=3)
+        outcome = algorithm(session, list(range(24)), 5)
+        assert outcome.cost == session.total_cost
+        assert outcome.rounds == session.total_rounds
+        assert outcome.cost > 0
+
+    @pytest.mark.parametrize("name,algorithm", CONFIDENCE_AWARE)
+    def test_k_equals_one(self, name, algorithm):
+        session = clean_session(seed=5)
+        outcome = algorithm(session, list(range(24)), 1)
+        assert list(outcome.topk) == [23]
+
+    @pytest.mark.parametrize("name,algorithm", CONFIDENCE_AWARE)
+    def test_validates_inputs(self, name, algorithm):
+        session = clean_session()
+        with pytest.raises(AlgorithmError):
+            algorithm(session, [1, 1], 1)
+        with pytest.raises(AlgorithmError):
+            algorithm(session, [1, 2], 5)
+
+    @pytest.mark.parametrize("name,algorithm", CONFIDENCE_AWARE)
+    def test_noisy_oracle_good_recall(self, name, algorithm):
+        session = make_latent_session(
+            np.linspace(0, 8, 24), sigma=1.0, seed=7,
+            min_workload=10, budget=400, batch_size=10,
+        )
+        outcome = algorithm(session, list(range(24)), 5)
+        assert len(set(outcome.topk) & set(TRUE_TOP5)) >= 4
+
+
+class TestTournamentSpecifics:
+    def test_later_items_found_via_direct_losers(self):
+        session = clean_session(seed=11)
+        outcome = tournament_topk(session, list(range(24)), 3)
+        assert list(outcome.topk) == [23, 22, 21]
+
+    def test_latency_beats_heapsort(self):
+        tour = clean_session(seed=2)
+        tournament_topk(tour, list(range(24)), 5)
+        heap = clean_session(seed=2)
+        heapsort_topk(heap, list(range(24)), 5)
+        assert tour.total_rounds < heap.total_rounds
+
+
+class TestQuickselectSpecifics:
+    def test_ties_travel_with_pivot(self):
+        # Two indistinguishable items around the boundary must not break
+        # the selection; with budget exhausted they form the pivot block.
+        session = make_latent_session(
+            [0.0, 1.0, 2.0, 3.0, 3.0, 5.0, 6.0], sigma=1.0,
+            min_workload=5, budget=50, batch_size=10, seed=3,
+        )
+        outcome = quickselect_topk(session, list(range(7)), 3)
+        assert len(outcome.topk) == 3
+        assert set(outcome.topk) <= {3, 4, 5, 6}
+
+
+class TestInfimum:
+    def test_pair_set_matches_lemma1(self, five_items):
+        pairs = infimum_pairs(five_items, 2)
+        order = five_items.true_order.tolist()
+        assert pairs[0] == (order[0], order[1])  # the k-1 chain
+        assert set(pairs[1:]) == {(order[1], j) for j in order[2:]}
+
+    def test_cost_below_every_algorithm(self):
+        items = make_items(SCORES)
+        baseline_costs = []
+        for _, algorithm in CONFIDENCE_AWARE:
+            session = clean_session(seed=13)
+            baseline_costs.append(algorithm(session, list(range(24)), 5).cost)
+        session = clean_session(seed=13)
+        infimum = infimum_estimate(session, items, 5)
+        assert infimum.cost <= min(baseline_costs)
+
+    def test_returns_ground_truth(self):
+        items = make_items(SCORES)
+        session = clean_session()
+        outcome = infimum_estimate(session, items, 5)
+        assert list(outcome.topk) == TRUE_TOP5
+
+    def test_validates_k(self, five_items):
+        with pytest.raises(AlgorithmError):
+            infimum_pairs(five_items, 0)
+
+
+class TestPBRSpecifics:
+    def test_memberships_decided_on_clean_data(self):
+        session = clean_session(seed=17)
+        outcome = pbr_topk(session, list(range(24)), 5)
+        assert outcome.extras["decided_members"] == 5
+        assert outcome.extras["decided_out"] == 19
+
+    def test_costs_more_than_spr(self):
+        pbr_session = clean_session(seed=19)
+        pbr_cost = pbr_topk(pbr_session, list(range(24)), 5).cost
+        spr_session = clean_session(seed=19)
+        spr_cost = spr_adapter(spr_session, list(range(24)), 5).cost
+        assert pbr_cost > spr_cost
+
+    def test_single_item(self):
+        session = clean_session()
+        outcome = pbr_topk(session, [3], 1)
+        assert outcome.topk == (3,)
+        assert outcome.cost == 0
+
+    def test_window_parameter(self):
+        # A small window still decides the correct member *set*; the order
+        # within the set is Copeland-heuristic and may vary because lazy
+        # scheduling races different pair subsets.
+        session = clean_session(seed=23)
+        outcome = pbr_topk(session, list(range(24)), 5, window=4)
+        assert set(outcome.topk) == set(TRUE_TOP5)
+
+
+class TestCrowdBT:
+    def test_btl_fit_recovers_order(self):
+        # Ground-truth BTL scores 3 > 2 > 1 > 0 with heavy vote counts.
+        rng = np.random.default_rng(0)
+        theta_true = np.array([0.0, 1.0, 2.0, 3.0])
+        counts = np.zeros((4, 4))
+        for i in range(4):
+            for j in range(4):
+                if i == j:
+                    continue
+                p = 1 / (1 + np.exp(theta_true[j] - theta_true[i]))
+                counts[i, j] = rng.binomial(400, p)
+                counts[j, i] = 400 - counts[i, j]
+        theta = fit_btl_scores(counts)
+        assert list(np.argsort(-theta)) == [3, 2, 1, 0]
+
+    def test_btl_validates(self):
+        with pytest.raises(AlgorithmError):
+            fit_btl_scores(np.zeros((2, 3)))
+        with pytest.raises(AlgorithmError):
+            fit_btl_scores(-np.ones((2, 2)))
+
+    def test_budget_is_spent_exactly(self):
+        session = clean_session(seed=29)
+        outcome = crowdbt_topk(session, list(range(24)), 5, budget=4000)
+        assert outcome.cost == 4000
+
+    def test_recovers_topk_with_generous_budget(self):
+        session = clean_session(seed=29)
+        outcome = crowdbt_topk(session, list(range(24)), 5, budget=20_000)
+        assert set(outcome.topk) == set(TRUE_TOP5)
+
+    def test_budget_validated(self):
+        session = clean_session()
+        with pytest.raises(AlgorithmError):
+            crowdbt_topk(session, list(range(24)), 5, budget=0)
+
+
+class TestHybrid:
+    def test_budget_respected(self):
+        session = clean_session(seed=31)
+        outcome = hybrid_topk(session, list(range(24)), 5, budget=5000)
+        assert outcome.cost <= 5000
+
+    def test_recovers_topk(self):
+        session = clean_session(seed=31)
+        outcome = hybrid_topk(session, list(range(24)), 5, budget=10_000)
+        assert set(outcome.topk) == set(TRUE_TOP5)
+
+    def test_budget_too_small_rejected(self):
+        session = clean_session()
+        with pytest.raises(AlgorithmError):
+            hybrid_topk(session, list(range(24)), 5, budget=10)
+
+    def test_requires_rating_oracle(self):
+        from repro.crowd.oracle import RecordDatabaseOracle
+        from repro.crowd.session import CrowdSession
+        from repro.config import ComparisonConfig
+
+        oracle = RecordDatabaseOracle({(0, 1): np.array([0.5, 0.5, -0.5])})
+        session = CrowdSession(
+            oracle, ComparisonConfig(min_workload=2, budget=50), seed=0
+        )
+        with pytest.raises(AlgorithmError):
+            hybrid_topk(session, [0, 1], 1, budget=100)
+
+    def test_hybrid_spr_beats_plain_spr_cost(self):
+        # The filter pays off once the pruned partition outweighs the
+        # per-item grading overhead — i.e. on larger, noisier inputs.
+        scores = np.linspace(0.0, 10.0, 80).tolist()
+        def session(seed):
+            return make_latent_session(
+                scores, sigma=1.5, seed=seed,
+                min_workload=10, budget=400, batch_size=10,
+            )
+        hybrid_cost = hybrid_spr_topk(
+            session(37), list(range(80)), 5, votes_per_item=5
+        ).cost
+        spr_cost = spr_adapter(session(37), list(range(80)), 5).cost
+        assert hybrid_cost < spr_cost
+
+    def test_hybrid_spr_exact_on_clean_oracle(self):
+        session = clean_session(seed=37)
+        outcome = hybrid_spr_topk(session, list(range(24)), 5, votes_per_item=10)
+        assert list(outcome.topk) == TRUE_TOP5
+
+
+class TestFullSort:
+    def test_exact_on_clean_oracle(self):
+        from repro.algorithms import fullsort_topk
+
+        session = clean_session(seed=41)
+        outcome = fullsort_topk(session, list(range(24)), 5)
+        assert list(outcome.topk) == TRUE_TOP5
+        assert outcome.extras["full_order_length"] == 24
+
+    def test_costs_more_than_spr_under_noise(self):
+        # On a noiseless toy both are cold-start-floor-dominated; with
+        # realistic noise the full order must resolve every adjacent pair —
+        # exactly the comparisons top-k pruning exists to avoid.
+        from repro.algorithms import fullsort_topk, spr_adapter
+
+        scores = np.linspace(0, 8, 24).tolist()
+        full = make_latent_session(
+            scores, sigma=1.0, seed=43, min_workload=5, budget=200, batch_size=10
+        )
+        full_cost = fullsort_topk(full, list(range(24)), 5).cost
+        spr = make_latent_session(
+            scores, sigma=1.0, seed=43, min_workload=5, budget=200, batch_size=10
+        )
+        spr_cost = spr_adapter(spr, list(range(24)), 5).cost
+        assert full_cost > 1.5 * spr_cost
+
+    def test_registered_in_harness(self):
+        from repro.algorithms import ALGORITHMS
+
+        assert "fullsort" in ALGORITHMS

@@ -1,0 +1,96 @@
+"""Judgment cache: sign canonicalization, growth, moments."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import JudgmentCache
+
+
+class TestSymmetry:
+    def test_bag_flips_sign_with_orientation(self):
+        cache = JudgmentCache()
+        cache.append(1, 2, np.array([0.5, -0.25]))
+        assert cache.bag(1, 2).tolist() == [0.5, -0.25]
+        assert cache.bag(2, 1).tolist() == [-0.5, 0.25]
+
+    def test_both_orientations_share_one_bag(self):
+        cache = JudgmentCache()
+        cache.append(3, 7, np.array([1.0]))
+        cache.append(7, 3, np.array([2.0]))
+        assert cache.bag(3, 7).tolist() == [1.0, -2.0]
+        assert cache.count(7, 3) == 2
+
+    def test_self_pair_rejected(self):
+        cache = JudgmentCache()
+        with pytest.raises(ValueError):
+            cache.bag(4, 4)
+        with pytest.raises(ValueError):
+            cache.append(4, 4, np.array([1.0]))
+
+
+class TestStorage:
+    def test_empty_bag(self):
+        cache = JudgmentCache()
+        assert cache.bag(0, 1).size == 0
+        assert cache.count(0, 1) == 0
+
+    def test_append_empty_is_noop(self):
+        cache = JudgmentCache()
+        cache.append(0, 1, np.array([]))
+        assert cache.total_samples == 0
+        assert cache.pair_count == 0
+
+    def test_growth_beyond_initial_capacity(self, rng):
+        cache = JudgmentCache()
+        chunks = [rng.normal(size=17) for _ in range(20)]
+        for chunk in chunks:
+            cache.append(0, 1, chunk)
+        expected = np.concatenate(chunks)
+        assert np.allclose(cache.bag(0, 1), expected)
+        assert cache.count(0, 1) == 17 * 20
+
+    def test_totals(self):
+        cache = JudgmentCache()
+        cache.append(0, 1, np.ones(3))
+        cache.append(2, 5, np.ones(4))
+        assert cache.total_samples == 7
+        assert cache.pair_count == 2
+        assert sorted(cache.pairs()) == [(0, 1), (2, 5)]
+
+    def test_clear(self):
+        cache = JudgmentCache()
+        cache.append(0, 1, np.ones(3))
+        cache.clear()
+        assert cache.total_samples == 0
+        assert cache.bag(0, 1).size == 0
+
+
+class TestMoments:
+    def test_moments_of_empty_bag(self):
+        cache = JudgmentCache()
+        n, mean, var = cache.moments(0, 1)
+        assert n == 0
+        assert np.isnan(mean)
+        assert np.isnan(var)
+
+    def test_moments_values(self):
+        cache = JudgmentCache()
+        cache.append(0, 1, np.array([1.0, 2.0, 3.0]))
+        n, mean, var = cache.moments(0, 1)
+        assert n == 3
+        assert mean == pytest.approx(2.0)
+        assert var == pytest.approx(1.0)
+
+    def test_moments_respect_orientation(self):
+        cache = JudgmentCache()
+        cache.append(0, 1, np.array([1.0, 2.0]))
+        _, mean_fwd, _ = cache.moments(0, 1)
+        _, mean_rev, _ = cache.moments(1, 0)
+        assert mean_fwd == pytest.approx(-mean_rev)
+
+    def test_single_sample_variance_nan(self):
+        cache = JudgmentCache()
+        cache.append(0, 1, np.array([1.0]))
+        n, mean, var = cache.moments(0, 1)
+        assert (n, mean) == (1, 1.0)
+        assert np.isnan(var)

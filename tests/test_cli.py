@@ -1,0 +1,100 @@
+"""The crowd-topk command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["query"])
+        assert args.dataset == "jester"
+        assert args.method == "spr"
+        assert args.k == 10
+
+    def test_query_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--method", "bogosort"])
+
+    def test_experiment_rejects_unknown_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert capsys.readouterr().out.strip()
+
+
+class TestCommands:
+    def test_datasets_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("imdb", "book", "jester", "photo", "peopleage"):
+            assert name in out
+
+    def test_query_end_to_end(self, capsys):
+        code = main(
+            [
+                "query",
+                "--dataset", "jester",
+                "--method", "spr",
+                "-k", "3",
+                "--n-items", "25",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TMC:" in out
+        assert "NDCG@3:" in out
+        assert "true rank" in out
+
+    def test_query_other_method(self, capsys):
+        code = main(
+            [
+                "query",
+                "--dataset", "jester",
+                "--method", "quickselect",
+                "-k", "2",
+                "--n-items", "20",
+            ]
+        )
+        assert code == 0
+        assert "quickselect" in capsys.readouterr().out
+
+    def test_experiment_fig15(self, capsys):
+        assert main(["experiment", "fig15"]) == 0
+        assert "n_b - n" in capsys.readouterr().out
+
+    def test_experiment_peopleage(self, capsys):
+        assert main(["experiment", "peopleage", "--runs", "1"]) == 0
+        assert "PeopleAge" in capsys.readouterr().out
+
+
+class TestPlanCommand:
+    def test_plan_feasible(self, capsys):
+        code = main(
+            [
+                "plan", "--n-items", "200", "-k", "5",
+                "--target-precision", "0.5", "--dollars", "1000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FEASIBLE" in out
+        assert "§5.4" in out
+
+    def test_plan_infeasible_exit_code(self, capsys):
+        code = main(
+            [
+                "plan", "--n-items", "500", "-k", "10",
+                "--target-precision", "0.6", "--dollars", "0.01",
+            ]
+        )
+        assert code == 1
+        assert "INFEASIBLE" in capsys.readouterr().out

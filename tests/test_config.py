@@ -1,0 +1,93 @@
+"""Configuration validation and derived quantities."""
+
+import pytest
+
+from repro.config import (
+    UNBOUNDED_BUDGET_CAP,
+    ComparisonConfig,
+    SPRConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestComparisonConfig:
+    def test_defaults_match_table6(self):
+        config = ComparisonConfig()
+        assert config.confidence == 0.98
+        assert config.budget == 1000
+        assert config.min_workload == 30
+        assert config.batch_size == 30
+        assert config.estimator == "student"
+
+    def test_alpha_is_complement_of_confidence(self):
+        assert ComparisonConfig(confidence=0.9).alpha == pytest.approx(0.1)
+
+    def test_unbounded_budget_capped(self):
+        config = ComparisonConfig(budget=None)
+        assert config.effective_budget == UNBOUNDED_BUDGET_CAP
+
+    def test_bounded_budget_passthrough(self):
+        assert ComparisonConfig(budget=500).effective_budget == 500
+
+    def test_rounds_for_exact_multiple(self):
+        assert ComparisonConfig(batch_size=30).rounds_for(90) == 3
+
+    def test_rounds_for_partial_batch(self):
+        assert ComparisonConfig(batch_size=30).rounds_for(91) == 4
+
+    @pytest.mark.parametrize("confidence", [0.0, 1.0, -0.5, 1.5])
+    def test_invalid_confidence_rejected(self, confidence):
+        with pytest.raises(ConfigError):
+            ComparisonConfig(confidence=confidence)
+
+    def test_budget_below_min_workload_rejected(self):
+        with pytest.raises(ConfigError):
+            ComparisonConfig(budget=10, min_workload=30)
+
+    def test_min_workload_below_two_rejected(self):
+        with pytest.raises(ConfigError):
+            ComparisonConfig(min_workload=1)
+
+    def test_zero_batch_rejected(self):
+        with pytest.raises(ConfigError):
+            ComparisonConfig(batch_size=0)
+
+    def test_unknown_estimator_rejected(self):
+        with pytest.raises(ConfigError):
+            ComparisonConfig(estimator="bayes")
+
+    def test_with_returns_validated_copy(self):
+        config = ComparisonConfig()
+        other = config.with_(confidence=0.9)
+        assert other.confidence == 0.9
+        assert config.confidence == 0.98
+        with pytest.raises(ConfigError):
+            config.with_(confidence=2.0)
+
+
+class TestSPRConfig:
+    def test_defaults(self):
+        config = SPRConfig()
+        assert config.sweet_spot == 1.5
+        assert config.max_reference_changes == 2
+
+    def test_sweet_spot_must_exceed_one(self):
+        with pytest.raises(ConfigError):
+            SPRConfig(sweet_spot=1.0)
+
+    def test_negative_reference_changes_rejected(self):
+        with pytest.raises(ConfigError):
+            SPRConfig(max_reference_changes=-1)
+
+    def test_selection_budget_below_min_workload_rejected(self):
+        with pytest.raises(ConfigError):
+            SPRConfig(selection_comparison_budget=10)
+
+    def test_selection_budget_at_min_workload_accepted(self):
+        config = SPRConfig(selection_comparison_budget=30)
+        assert config.selection_comparison_budget == 30
+
+    def test_with_copies(self):
+        config = SPRConfig()
+        assert config.with_(sweet_spot=2.0).sweet_spot == 2.0
+        assert config.sweet_spot == 1.5

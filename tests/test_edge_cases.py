@@ -1,0 +1,119 @@
+"""Boundary-value tests across the core surfaces."""
+
+import numpy as np
+import pytest
+
+from repro.config import ComparisonConfig, UNBOUNDED_BUDGET_CAP
+from repro.core.estimators import HoeffdingTester, SteinTester, StudentTester
+from repro.core.outcomes import Outcome
+from repro.core.spr import spr_topk
+from repro.crowd.pool import RacingPool
+from tests.conftest import make_latent_session
+
+
+class TestBudgetBoundaries:
+    def test_budget_equals_min_workload(self):
+        # The tightest legal configuration: exactly one decision point.
+        session = make_latent_session(
+            [0.0, 5.0], sigma=0.5, budget=10, min_workload=10
+        )
+        record = session.compare(1, 0)
+        assert record.workload == 10
+        assert record.outcome is Outcome.LEFT
+
+    def test_budget_equals_min_workload_tie(self):
+        session = make_latent_session(
+            [0.0, 0.01], sigma=3.0, budget=10, min_workload=10
+        )
+        record = session.compare(1, 0)
+        assert record.workload == 10
+        assert record.outcome is Outcome.TIE
+
+    def test_unbounded_budget_uses_cap(self):
+        config = ComparisonConfig(budget=None)
+        assert config.effective_budget == UNBOUNDED_BUDGET_CAP
+
+    def test_pool_step_larger_than_remaining_budget(self):
+        session = make_latent_session(
+            [0.0, 0.01], sigma=3.0, budget=15, min_workload=10, batch_size=10
+        )
+        pool = RacingPool(session, [(1, 0)])
+        resolved = pool.run_to_completion(step=40)  # step >> budget
+        assert resolved == [(0, 0)]
+        assert int(pool.n[0]) == 15  # never exceeds the budget
+
+
+class TestTinyUniverses:
+    def test_spr_two_items(self):
+        session = make_latent_session([0.0, 4.0], sigma=0.5, min_workload=4)
+        result = spr_topk(session, [0, 1], 1)
+        assert list(result.topk) == [1]
+
+    def test_spr_k_equals_n_minus_one(self):
+        session = make_latent_session(
+            [float(i) for i in range(9)], sigma=0.3, min_workload=4
+        )
+        result = spr_topk(session, list(range(9)), 8)
+        assert list(result.topk) == list(range(8, 0, -1))
+
+    def test_spr_exactly_at_selection_threshold(self):
+        # min_items_for_selection = 8 by default: N=8 runs the full
+        # pipeline, N=7 sorts directly.
+        for n in (7, 8):
+            session = make_latent_session(
+                [float(i) for i in range(n)], sigma=0.3, min_workload=4
+            )
+            result = spr_topk(session, list(range(n)), 2)
+            assert list(result.topk) == [n - 1, n - 2]
+
+
+class TestEstimatorBoundaries:
+    def test_student_two_identical_samples(self):
+        tester = StudentTester(alpha=0.05, min_workload=2)
+        tester.push_many(np.array([1.0, 1.0]))
+        assert tester.decision() == 1
+
+    def test_student_alternating_never_decides(self):
+        tester = StudentTester(alpha=0.05, min_workload=2)
+        consumed, decision = tester.scan(np.tile([1.0, -1.0], 100))
+        assert decision is None
+
+    def test_stein_stage_equals_stream_length(self):
+        tester = SteinTester(alpha=0.05, min_workload=10)
+        consumed, decision = tester.scan(np.full(10, 2.0))
+        assert consumed == 10
+        assert decision == 1  # zero stage variance, clear mean
+
+    def test_hoeffding_extreme_alpha(self):
+        tester = HoeffdingTester(alpha=0.5, min_workload=2, value_range=2.0)
+        consumed, decision = tester.scan(np.ones(20))
+        assert decision == 1
+        # n = ceil(2 ln 4) = 3, but the cold-start gate holds until 2...
+        assert consumed <= 5
+
+    def test_scan_single_value(self):
+        tester = StudentTester(alpha=0.05, min_workload=2)
+        consumed, decision = tester.scan(np.array([3.0]))
+        assert consumed == 1
+        assert decision is None
+
+
+class TestSessionBoundaries:
+    def test_batch_size_one(self):
+        session = make_latent_session(
+            [0.0, 2.0], sigma=0.5, batch_size=1, min_workload=5
+        )
+        record = session.compare(1, 0)
+        assert record.rounds == record.cost  # one task per round
+
+    def test_huge_batch_single_round(self):
+        session = make_latent_session(
+            [0.0, 2.0], sigma=0.5, batch_size=10_000, min_workload=5
+        )
+        record = session.compare(1, 0)
+        assert record.rounds == 1
+
+    def test_compare_group_empty(self):
+        session = make_latent_session([0.0, 1.0])
+        assert session.compare_group([]) == []
+        assert session.total_rounds == 0

@@ -1,0 +1,40 @@
+"""The full-scale evaluation orchestrator script."""
+
+import pathlib
+import subprocess
+import sys
+
+SCRIPT = pathlib.Path(__file__).parent.parent / "scripts" / "run_full_evaluation.py"
+
+
+def test_script_runs_a_cheap_subset(tmp_path):
+    result = subprocess.run(
+        [
+            sys.executable, str(SCRIPT),
+            "--runs", "1",
+            "--only", "fig15",
+            "--out", str(tmp_path),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert (tmp_path / "fig15.txt").exists()
+    assert (tmp_path / "fig15.json").exists()
+    assert (tmp_path / "fig15.csv").exists()
+    assert "n_b - n" in (tmp_path / "fig15.txt").read_text()
+
+
+def test_script_rejects_unknown_experiment(tmp_path):
+    result = subprocess.run(
+        [
+            sys.executable, str(SCRIPT),
+            "--only", "fig99",
+            "--out", str(tmp_path),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode != 0

@@ -1,0 +1,109 @@
+"""Survey-grade heuristic baselines: Borda counting and ELO ratings."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.heuristics import borda_topk, elo_topk
+from repro.errors import AlgorithmError
+from tests.conftest import make_latent_session
+
+SCORES = [float(i) for i in range(16)]
+TRUE_TOP4 = {15, 14, 13, 12}
+
+
+def clean_session(seed=0, **kwargs):
+    defaults = dict(sigma=0.5, min_workload=5, batch_size=10, budget=200)
+    defaults.update(kwargs)
+    return make_latent_session(SCORES, seed=seed, **defaults)
+
+
+@pytest.mark.parametrize("algorithm", [borda_topk, elo_topk])
+class TestCommonBehaviour:
+    def test_budget_is_spent_exactly(self, algorithm):
+        session = clean_session(seed=1)
+        outcome = algorithm(session, list(range(16)), 4, budget=3000)
+        assert outcome.cost == 3000
+        assert session.total_cost == 3000
+
+    def test_recovers_topk_with_generous_budget(self, algorithm):
+        session = clean_session(seed=1)
+        outcome = algorithm(session, list(range(16)), 4, budget=20_000)
+        assert set(outcome.topk) == TRUE_TOP4
+
+    def test_small_budget_degrades_gracefully(self, algorithm):
+        session = clean_session(seed=2)
+        outcome = algorithm(session, list(range(16)), 4, budget=30)
+        assert len(outcome.topk) == 4
+        assert len(set(outcome.topk)) == 4
+
+    def test_budget_validated(self, algorithm):
+        session = clean_session()
+        with pytest.raises(AlgorithmError):
+            algorithm(session, list(range(16)), 4, budget=0)
+
+    def test_query_validated(self, algorithm):
+        session = clean_session()
+        with pytest.raises(AlgorithmError):
+            algorithm(session, [1, 1], 1, budget=100)
+
+    def test_deterministic_given_seed(self, algorithm):
+        a = algorithm(clean_session(seed=5), list(range(16)), 4, budget=2000)
+        b = algorithm(clean_session(seed=5), list(range(16)), 4, budget=2000)
+        assert a.topk == b.topk
+
+
+class TestBordaSpecifics:
+    def test_extras_report_coverage(self):
+        session = clean_session(seed=3)
+        outcome = borda_topk(session, list(range(16)), 4, budget=5000)
+        assert outcome.extras["votes"] == 5000
+        assert outcome.extras["min_appearances"] > 0
+
+    def test_win_rate_not_raw_wins(self):
+        # With uniform random pairing both normalizations agree in
+        # expectation, but the implementation must not divide by zero when
+        # an item never appears (tiny budgets).
+        session = clean_session(seed=3)
+        outcome = borda_topk(session, list(range(16)), 2, budget=5)
+        assert len(outcome.topk) == 2
+
+
+class TestEloSpecifics:
+    def test_rating_spread_grows_with_budget(self):
+        small = elo_topk(clean_session(seed=7), list(range(16)), 4, budget=100)
+        large = elo_topk(clean_session(seed=7), list(range(16)), 4, budget=5000)
+        assert (
+            large.extras["rating_spread"] > small.extras["rating_spread"]
+        )
+
+    def test_parameters_validated(self):
+        session = clean_session()
+        with pytest.raises(AlgorithmError):
+            elo_topk(session, list(range(16)), 2, budget=100, k_factor=0)
+        with pytest.raises(AlgorithmError):
+            elo_topk(session, list(range(16)), 2, budget=100, spread=-1)
+
+
+class TestAgainstConfidenceAware:
+    def test_heuristics_trail_spr_at_matched_budget(self):
+        """The §6.5 story generalizes: at SPR's own budget the heuristics
+        should not beat SPR's quality on a noisy instance."""
+        from repro.algorithms import spr_adapter
+        from repro.metrics import ndcg_at_k
+        from tests.conftest import make_items
+
+        scores = np.linspace(0.0, 6.0, 30)
+        items = make_items(scores)
+
+        def session(seed):
+            return make_latent_session(
+                scores.tolist(), sigma=1.5, seed=seed,
+                min_workload=10, budget=400, batch_size=10,
+            )
+
+        spr = spr_adapter(session(11), list(range(30)), 5)
+        spr_ndcg = ndcg_at_k(items, spr.topk, 5)
+        borda = borda_topk(session(11), list(range(30)), 5, budget=spr.cost)
+        elo = elo_topk(session(11), list(range(30)), 5, budget=spr.cost)
+        assert ndcg_at_k(items, borda.topk, 5) <= spr_ndcg + 0.1
+        assert ndcg_at_k(items, elo.topk, 5) <= spr_ndcg + 0.1

@@ -1,0 +1,92 @@
+"""Incremental top-k maintenance."""
+
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.extensions import insert_item
+from tests.conftest import make_latent_session
+
+SCORES = [float(i) for i in range(20)]  # item i has score i
+
+
+def clean_session(seed=0, **kwargs):
+    defaults = dict(sigma=0.3, min_workload=5, batch_size=10, budget=200)
+    defaults.update(kwargs)
+    return make_latent_session(SCORES, seed=seed, **defaults)
+
+
+class TestRejection:
+    def test_weak_item_rejected_with_one_comparison(self):
+        session = clean_session()
+        result = insert_item(session, [19, 18, 17], 3)
+        assert not result.accepted
+        assert result.topk == (19, 18, 17)
+        assert result.comparisons == 1
+        assert result.evicted is None
+
+    def test_rejection_costs_one_boundary_comparison(self):
+        session = clean_session()
+        result = insert_item(session, [19, 18, 17], 0)
+        assert result.cost > 0
+        assert result.cost == session.total_cost
+
+
+class TestAcceptance:
+    def test_strong_item_takes_its_slot(self):
+        session = clean_session()
+        result = insert_item(session, [19, 17, 15], 18)
+        assert result.accepted
+        assert result.topk == (19, 18, 17)
+        assert result.evicted == 15
+
+    def test_new_best_item_goes_first(self):
+        session = clean_session()
+        result = insert_item(session, [18, 17, 16], 19)
+        assert result.topk == (19, 18, 17)
+
+    def test_no_evict_grows_the_list(self):
+        session = clean_session()
+        result = insert_item(session, [19, 17], 18, evict=False)
+        assert result.topk == (19, 18, 17)
+        assert result.evicted is None
+
+    def test_binary_search_is_logarithmic(self):
+        session = clean_session()
+        topk = [19, 18, 17, 16, 15, 14, 13, 12]
+        result = insert_item(session, topk, 11, evict=False)
+        assert not result.accepted or result.comparisons <= 1 + 3
+        result = insert_item(session, topk, 19 - 19, evict=False)  # item 0
+        assert result.comparisons == 1
+
+    def test_cached_judgments_make_repeats_free(self):
+        session = clean_session()
+        insert_item(session, [19, 17, 15], 18)
+        cost_before = session.total_cost
+        repeat = insert_item(session, [19, 17, 15], 18)
+        assert repeat.cost == 0
+        assert session.total_cost == cost_before
+
+
+class TestValidation:
+    def test_empty_topk_rejected(self):
+        with pytest.raises(AlgorithmError):
+            insert_item(clean_session(), [], 3)
+
+    def test_duplicate_topk_rejected(self):
+        with pytest.raises(AlgorithmError):
+            insert_item(clean_session(), [5, 5], 3)
+
+    def test_already_member_rejected(self):
+        with pytest.raises(AlgorithmError):
+            insert_item(clean_session(), [19, 18], 18)
+
+
+class TestStream:
+    def test_streaming_insertions_converge_to_true_topk(self):
+        # Feed all items one by one into a top-5 seeded with the weakest.
+        session = clean_session(seed=4)
+        topk = [4, 3, 2, 1, 0]
+        for item in range(5, 20):
+            result = insert_item(session, list(topk), item)
+            topk = list(result.topk)
+        assert topk == [19, 18, 17, 16, 15]

@@ -1,0 +1,136 @@
+"""ItemSet: ground-truth orders, subsets, validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.items import ItemSet
+from repro.errors import DatasetError
+from tests.conftest import make_items
+
+
+class TestConstruction:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(DatasetError):
+            ItemSet(ids=np.array([1, 2]), scores=np.array([1.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            ItemSet(ids=np.array([], dtype=int), scores=np.array([]))
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(DatasetError):
+            ItemSet(ids=np.array([1, 1]), scores=np.array([1.0, 2.0]))
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(DatasetError):
+            ItemSet(ids=np.array([-1, 2]), scores=np.array([1.0, 2.0]))
+
+    def test_rejects_non_finite_scores(self):
+        with pytest.raises(DatasetError):
+            ItemSet(ids=np.array([0, 1]), scores=np.array([1.0, np.nan]))
+
+    def test_rejects_misaligned_labels(self):
+        with pytest.raises(DatasetError):
+            ItemSet(
+                ids=np.array([0, 1]),
+                scores=np.array([1.0, 2.0]),
+                labels=("only one",),
+            )
+
+    def test_does_not_mutate_caller_arrays(self):
+        ids = np.array([0, 1])
+        ItemSet(ids=ids, scores=np.array([1.0, 2.0]))
+        ids[0] = 99  # would raise if the ItemSet froze the caller's array
+        assert ids[0] == 99
+
+
+class TestGroundTruth:
+    def test_true_order_descends_by_score(self):
+        items = make_items([3.0, 1.0, 2.0])
+        assert items.true_order.tolist() == [0, 2, 1]
+
+    def test_score_ties_break_by_ascending_id(self):
+        items = ItemSet(ids=np.array([5, 3, 9]), scores=np.array([1.0, 1.0, 1.0]))
+        assert items.true_order.tolist() == [3, 5, 9]
+
+    def test_rank_of_is_one_based(self):
+        items = make_items([3.0, 1.0, 2.0])
+        assert items.rank_of(0) == 1
+        assert items.rank_of(2) == 2
+        assert items.rank_of(1) == 3
+
+    def test_true_top_k(self):
+        items = make_items([3.0, 1.0, 2.0, 5.0])
+        assert items.true_top_k(2).tolist() == [3, 0]
+
+    def test_true_top_k_validates(self):
+        items = make_items([1.0, 2.0])
+        with pytest.raises(DatasetError):
+            items.true_top_k(0)
+        with pytest.raises(DatasetError):
+            items.true_top_k(3)
+
+    def test_rank_of_unknown_item(self):
+        with pytest.raises(DatasetError):
+            make_items([1.0]).rank_of(7)
+
+    def test_score_of(self):
+        items = make_items([1.5, 2.5])
+        assert items.score_of(1) == 2.5
+        with pytest.raises(DatasetError):
+            items.score_of(9)
+
+    def test_contains(self):
+        items = make_items([1.0, 2.0])
+        assert 1 in items
+        assert 5 not in items
+
+    def test_label_fallback(self):
+        assert make_items([1.0]).label_of(0) == "item 0"
+
+    def test_custom_labels(self):
+        items = ItemSet(
+            ids=np.array([0, 1]), scores=np.array([1.0, 2.0]), labels=("a", "b")
+        )
+        assert items.label_of(1) == "b"
+
+
+class TestSubsets:
+    def test_subset_preserves_relative_order(self, rng):
+        items = make_items(np.linspace(0, 1, 50))
+        sub = items.subset(10, rng)
+        assert len(sub) == 10
+        ranks = [items.rank_of(int(i)) for i in sub.true_order]
+        assert ranks == sorted(ranks)
+
+    def test_subset_full_size_returns_self(self, rng):
+        items = make_items([1.0, 2.0])
+        assert items.subset(2, rng) is items
+
+    def test_subset_without_rng_is_deterministic(self):
+        items = make_items([1.0, 2.0, 3.0, 4.0])
+        assert items.subset(2).ids.tolist() == items.subset(2).ids.tolist()
+
+    def test_subset_validates_size(self, rng):
+        with pytest.raises(DatasetError):
+            make_items([1.0, 2.0]).subset(0, rng)
+        with pytest.raises(DatasetError):
+            make_items([1.0, 2.0]).subset(3, rng)
+
+    def test_restrict(self):
+        items = make_items([1.0, 2.0, 3.0])
+        sub = items.restrict([2, 0])
+        assert sorted(sub.ids.tolist()) == [0, 2]
+        assert sub.rank_of(2) == 1
+
+    def test_restrict_unknown_item(self):
+        with pytest.raises(DatasetError):
+            make_items([1.0]).restrict([3])
+
+    def test_restrict_keeps_labels(self):
+        items = ItemSet(
+            ids=np.array([0, 1, 2]),
+            scores=np.array([1.0, 2.0, 3.0]),
+            labels=("a", "b", "c"),
+        )
+        assert items.restrict([2]).label_of(2) == "c"

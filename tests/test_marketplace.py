@@ -1,0 +1,126 @@
+"""The discrete-event marketplace simulator."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.marketplace import (
+    MarketplaceModel,
+    MarketplaceReport,
+    rounds_from_session,
+)
+from tests.conftest import make_latent_session
+
+
+class TestModelValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MarketplaceModel(n_workers=0)
+        with pytest.raises(ValueError):
+            MarketplaceModel(answer_seconds=0)
+        with pytest.raises(ValueError):
+            MarketplaceModel(answer_cv=-0.1)
+        with pytest.raises(ValueError):
+            MarketplaceModel(pickup_seconds=-1)
+        with pytest.raises(ValueError):
+            MarketplaceModel(abandonment_rate=1.0)
+
+    def test_rejects_negative_round(self):
+        with pytest.raises(ValueError):
+            MarketplaceModel().simulate([10, -1])
+
+
+class TestSimulation:
+    def test_deterministic_answer_times(self):
+        model = MarketplaceModel(
+            n_workers=10, answer_seconds=10.0, answer_cv=0.0,
+            pickup_seconds=0.0, abandonment_rate=0.0,
+        )
+        report = model.simulate([100], seed=0)
+        # 100 ten-second tasks on 10 workers = exactly 100 seconds.
+        assert report.total_seconds == pytest.approx(100.0)
+        assert report.tasks_posted == 100
+        assert report.tasks_reposted == 0
+        assert report.utilization == pytest.approx(1.0)
+
+    def test_more_workers_finish_faster(self):
+        rounds = [500]
+        slow = MarketplaceModel(n_workers=5).simulate(rounds, seed=1)
+        fast = MarketplaceModel(n_workers=50).simulate(rounds, seed=1)
+        assert fast.total_seconds < slow.total_seconds
+
+    def test_rounds_are_sequential(self):
+        model = MarketplaceModel(n_workers=10, answer_cv=0.0,
+                                 pickup_seconds=0.0, abandonment_rate=0.0)
+        split = model.simulate([50, 50], seed=2)
+        together = model.simulate([100], seed=2)
+        assert split.total_seconds == pytest.approx(
+            sum(split.round_seconds)
+        )
+        # Two sequential half-batches cannot beat one batch on idle time.
+        assert split.total_seconds >= together.total_seconds - 1e-9
+
+    def test_abandonment_causes_reposts(self):
+        model = MarketplaceModel(abandonment_rate=0.3)
+        report = model.simulate([500], seed=3)
+        assert report.tasks_reposted > 0
+        assert report.tasks_posted == 500 + report.tasks_reposted
+
+    def test_empty_rounds_are_free(self):
+        report = MarketplaceModel().simulate([0, 0], seed=0)
+        assert report.total_seconds == 0.0
+        assert report.round_seconds == (0.0, 0.0)
+
+    def test_deterministic_given_seed(self):
+        model = MarketplaceModel()
+        a = model.simulate([200, 100], seed=9)
+        b = model.simulate([200, 100], seed=9)
+        assert a == b
+
+    def test_skewed_answers_stretch_the_tail(self):
+        tight = MarketplaceModel(answer_cv=0.0, abandonment_rate=0.0,
+                                 pickup_seconds=0.0)
+        skewed = MarketplaceModel(answer_cv=2.0, abandonment_rate=0.0,
+                                  pickup_seconds=0.0)
+        rounds = [300]
+        base = tight.simulate(rounds, seed=4).total_seconds
+        heavy = np.mean([
+            skewed.simulate(rounds, seed=s).total_seconds for s in range(5)
+        ])
+        assert heavy > base  # the makespan is tail-dominated
+
+    def test_summary(self):
+        report = MarketplaceReport(
+            total_seconds=7200.0, round_seconds=(7200.0,), tasks_posted=100,
+            tasks_reposted=3, worker_busy_seconds=1000.0, n_workers=2,
+        )
+        assert "2.0 h" in report.summary()
+        assert report.utilization == pytest.approx(1000.0 / (7200.0 * 2))
+
+
+class TestSessionIntegration:
+    def test_rounds_from_session_partition_totals(self):
+        session = make_latent_session(
+            [0.0, 2.0, 4.0, 0.1], sigma=1.0, batch_size=10
+        )
+        session.compare_group([(1, 0), (2, 3)])
+        rounds = rounds_from_session(session)
+        assert len(rounds) == session.total_rounds
+        assert sum(rounds) == session.total_cost
+
+    def test_empty_session(self):
+        session = make_latent_session([0.0, 1.0])
+        assert rounds_from_session(session) == []
+
+    def test_end_to_end_projection(self):
+        session = make_latent_session(
+            [float(i) for i in range(10)], sigma=0.5,
+            min_workload=5, batch_size=10,
+        )
+        from repro.core.spr import spr_topk
+
+        spr_topk(session, list(range(10)), 3)
+        report = MarketplaceModel(n_workers=20).simulate(
+            rounds_from_session(session), seed=5
+        )
+        assert report.total_seconds > 0
+        assert report.tasks_posted >= session.total_cost

@@ -1,0 +1,227 @@
+"""Judgment oracles: simulation rules, batching consistency, graded support."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.oracle import (
+    BinaryOracle,
+    HistogramOracle,
+    LatentScoreOracle,
+    RecordDatabaseOracle,
+    UserTableOracle,
+)
+from repro.crowd.workers import GaussianNoise
+from repro.errors import OracleError
+
+
+class TestLatentScoreOracle:
+    def test_mean_tracks_score_gap(self, rng):
+        oracle = LatentScoreOracle(np.array([0.0, 3.0]), GaussianNoise(1.0))
+        draws = oracle.draw(1, 0, 4000, rng)
+        assert draws.mean() == pytest.approx(3.0, abs=0.1)
+
+    def test_antisymmetric_in_expectation(self, rng):
+        oracle = LatentScoreOracle(np.array([0.0, 3.0]), GaussianNoise(1.0))
+        fwd = oracle.draw(1, 0, 4000, rng).mean()
+        rev = oracle.draw(0, 1, 4000, rng).mean()
+        assert fwd == pytest.approx(-rev, abs=0.2)
+
+    def test_draw_pairs_matches_draw_distribution(self, rng):
+        oracle = LatentScoreOracle(np.arange(4, dtype=float), GaussianNoise(0.5))
+        matrix = oracle.draw_pairs(
+            np.array([3, 2]), np.array([0, 1]), 2000, rng
+        )
+        assert matrix.shape == (2, 2000)
+        assert matrix[0].mean() == pytest.approx(3.0, abs=0.1)
+        assert matrix[1].mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_sparse_ids_supported(self, rng):
+        oracle = LatentScoreOracle({10: 0.0, 99: 2.0}, GaussianNoise(0.1))
+        assert oracle.draw(99, 10, 100, rng).mean() == pytest.approx(2.0, abs=0.1)
+
+    def test_unknown_item_rejected(self, rng):
+        oracle = LatentScoreOracle(np.array([0.0, 1.0]))
+        with pytest.raises(OracleError):
+            oracle.draw(0, 7, 1, rng)
+
+    def test_rating_support(self, rng):
+        oracle = LatentScoreOracle(np.array([0.0, 2.0]), GaussianNoise(0.5))
+        assert oracle.supports_rating
+        assert oracle.rate(1, 2000, rng).mean() == pytest.approx(2.0, abs=0.1)
+
+
+class TestHistogramOracle:
+    @pytest.fixture
+    def oracle(self):
+        support = np.arange(1.0, 6.0)
+        pmfs = {
+            0: np.array([0.6, 0.3, 0.1, 0.0, 0.0]),  # poor item
+            1: np.array([0.0, 0.0, 0.1, 0.3, 0.6]),  # great item
+            2: np.array([0.2, 0.2, 0.2, 0.2, 0.2]),  # uniform
+        }
+        return HistogramOracle(support, pmfs)
+
+    def test_mean_rating(self, oracle):
+        assert oracle.mean_rating(2) == pytest.approx(3.0)
+        assert oracle.mean_rating(1) == pytest.approx(4.5)
+
+    def test_draw_matches_histogram_difference(self, oracle, rng):
+        draws = oracle.draw(1, 0, 5000, rng)
+        expected = oracle.mean_rating(1) - oracle.mean_rating(0)
+        assert draws.mean() == pytest.approx(expected, abs=0.1)
+
+    def test_values_live_on_support_differences(self, oracle, rng):
+        draws = oracle.draw(0, 1, 500, rng)
+        assert np.all(draws == np.round(draws))
+        assert np.all(np.abs(draws) <= 4)
+
+    def test_bounds(self, oracle):
+        assert oracle.bounds == (-4.0, 4.0)
+        assert oracle.value_range == 8.0
+
+    def test_rate_distribution(self, oracle, rng):
+        ratings = oracle.rate(0, 5000, rng)
+        assert ratings.mean() == pytest.approx(1.5, abs=0.1)
+        assert set(np.unique(ratings)) <= {1.0, 2.0, 3.0}
+
+    def test_draw_pairs_shape_and_mean(self, oracle, rng):
+        matrix = oracle.draw_pairs(np.array([1, 1]), np.array([0, 2]), 3000, rng)
+        assert matrix.shape == (2, 3000)
+        assert matrix[1].mean() == pytest.approx(1.5, abs=0.15)
+
+    def test_validates_pmfs(self):
+        support = np.arange(1.0, 4.0)
+        with pytest.raises(OracleError):
+            HistogramOracle(support, {0: np.array([0.5, 0.5])})  # wrong shape
+        with pytest.raises(OracleError):
+            HistogramOracle(support, {0: np.array([0.5, 0.6, 0.2])})  # not a pmf
+
+    def test_validates_support(self):
+        with pytest.raises(OracleError):
+            HistogramOracle(np.array([1.0]), {0: np.array([1.0])})
+        with pytest.raises(OracleError):
+            HistogramOracle(np.array([2.0, 1.0]), {0: np.array([0.5, 0.5])})
+
+    def test_unknown_item(self, oracle, rng):
+        with pytest.raises(OracleError):
+            oracle.draw(0, 9, 1, rng)
+
+
+class TestUserTableOracle:
+    @pytest.fixture
+    def oracle(self, rng):
+        # 200 users, 3 items; item quality 0 < 1 < 2, strong user bias.
+        bias = rng.normal(0, 5, size=(200, 1))
+        quality = np.array([0.0, 1.0, 2.0])
+        return UserTableOracle(bias + quality[None, :])
+
+    def test_within_user_differencing_cancels_bias(self, oracle, rng):
+        draws = oracle.draw(2, 0, 3000, rng)
+        assert draws.mean() == pytest.approx(2.0, abs=0.05)
+        assert draws.std() < 1.0  # bias cancelled exactly in this model
+
+    def test_mean_rating(self, oracle):
+        assert oracle.mean_rating(1) - oracle.mean_rating(0) == pytest.approx(1.0)
+
+    def test_draw_pairs(self, oracle, rng):
+        matrix = oracle.draw_pairs(np.array([1, 2]), np.array([0, 0]), 1000, rng)
+        assert matrix[0].mean() == pytest.approx(1.0, abs=0.1)
+        assert matrix[1].mean() == pytest.approx(2.0, abs=0.1)
+
+    def test_rate(self, oracle, rng):
+        assert oracle.supports_rating
+        ratings = oracle.rate(2, 5000, rng)
+        assert ratings.mean() == pytest.approx(oracle.mean_rating(2), abs=0.5)
+
+    def test_validates_matrix(self):
+        with pytest.raises(OracleError):
+            UserTableOracle(np.array([1.0, 2.0]))  # 1-D
+        with pytest.raises(OracleError):
+            UserTableOracle(np.array([[1.0, np.nan]]))
+
+    def test_custom_item_ids(self, rng):
+        oracle = UserTableOracle(np.array([[1.0, 5.0]]), item_ids=np.array([10, 20]))
+        assert oracle.draw(20, 10, 5, rng).tolist() == [4.0] * 5
+
+
+class TestRecordDatabaseOracle:
+    @pytest.fixture
+    def oracle(self):
+        return RecordDatabaseOracle(
+            {
+                (0, 1): np.array([0.5, 0.7, 0.6]),
+                (2, 1): np.array([-0.2, -0.4]),
+            }
+        )
+
+    def test_draws_come_from_records(self, oracle, rng):
+        draws = oracle.draw(0, 1, 200, rng)
+        assert set(np.unique(draws)) <= {0.5, 0.7, 0.6}
+
+    def test_orientation_flips_sign(self, oracle, rng):
+        draws = oracle.draw(1, 0, 200, rng)
+        assert set(np.unique(draws)) <= {-0.5, -0.7, -0.6}
+
+    def test_record_count(self, oracle):
+        assert oracle.record_count(0, 1) == 3
+        assert oracle.record_count(1, 2) == 2
+
+    def test_missing_pair_rejected(self, oracle, rng):
+        with pytest.raises(OracleError):
+            oracle.draw(0, 2, 1, rng)
+
+    def test_draw_pairs(self, oracle, rng):
+        matrix = oracle.draw_pairs(np.array([0, 1]), np.array([1, 2]), 100, rng)
+        assert set(np.unique(matrix[0])) <= {0.5, 0.6, 0.7}
+        assert set(np.unique(matrix[1])) <= {0.2, 0.4}
+
+    def test_validates_database(self):
+        with pytest.raises(OracleError):
+            RecordDatabaseOracle({})
+        with pytest.raises(OracleError):
+            RecordDatabaseOracle({(1, 1): np.array([0.5])})
+        with pytest.raises(OracleError):
+            RecordDatabaseOracle({(0, 1): np.array([])})
+        with pytest.raises(OracleError):
+            RecordDatabaseOracle(
+                {(0, 1): np.array([0.5]), (1, 0): np.array([0.5])}
+            )
+
+
+class TestBinaryOracle:
+    def test_only_signs_emitted(self, rng):
+        base = LatentScoreOracle(np.array([0.0, 1.0]), GaussianNoise(2.0))
+        oracle = BinaryOracle(base)
+        draws = oracle.draw(1, 0, 500, rng)
+        assert set(np.unique(draws)) <= {-1.0, 1.0}
+
+    def test_zeros_redrawn(self, rng):
+        support = np.array([1.0, 2.0])
+        base = HistogramOracle(
+            support, {0: np.array([0.5, 0.5]), 1: np.array([0.4, 0.6])}
+        )
+        oracle = BinaryOracle(base)
+        draws = oracle.draw(1, 0, 300, rng)
+        assert np.all(draws != 0)
+
+    def test_draw_pairs_redraws_zeros(self, rng):
+        support = np.array([1.0, 2.0])
+        base = HistogramOracle(
+            support, {0: np.array([0.5, 0.5]), 1: np.array([0.4, 0.6])}
+        )
+        matrix = BinaryOracle(base).draw_pairs(
+            np.array([1, 0]), np.array([0, 1]), 50, rng
+        )
+        assert np.all(matrix != 0)
+
+    def test_identical_items_eventually_error(self, rng):
+        support = np.array([1.0, 2.0])
+        pmf = np.array([0.5, 0.5])
+        base = RecordDatabaseOracle({(0, 1): np.array([0.0])})
+        with pytest.raises(OracleError):
+            BinaryOracle(base).draw(0, 1, 10, rng)
+
+    def test_bounds_are_binary(self):
+        base = LatentScoreOracle(np.array([0.0, 1.0]))
+        assert BinaryOracle(base).bounds == (-1.0, 1.0)
+        assert BinaryOracle(base).value_range == 2.0

@@ -1,0 +1,106 @@
+"""The query planner: §5.4-driven configuration recommendations."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.planner import SPR_OVERHEAD_FACTOR, plan_query
+
+
+class TestConfidenceChoice:
+    def test_low_target_allows_low_confidence(self):
+        plan = plan_query(200, 10, target_precision=0.5)
+        assert plan.config.confidence >= 0.80
+        assert plan.expected_precision_floor >= 0.5
+
+    def test_high_target_forces_high_confidence(self):
+        plan = plan_query(200, 10, target_precision=0.65)
+        assert plan.config.confidence >= 0.98
+
+    def test_unreachable_target_rejected(self):
+        # (1-a)/c can never exceed 1/c ≈ 0.67 at c=1.5.
+        with pytest.raises(ConfigError):
+            plan_query(200, 10, target_precision=0.7)
+
+    def test_floor_meets_target(self):
+        for target in (0.45, 0.55, 0.6):
+            plan = plan_query(300, 10, target_precision=target)
+            assert plan.expected_precision_floor >= target
+
+
+class TestBudgeting:
+    def test_no_cap_prefers_largest_budget(self):
+        plan = plan_query(100, 5, target_precision=0.6)
+        assert plan.feasible
+        assert plan.config.budget == 4000
+
+    def test_cap_shrinks_the_budget(self):
+        roomy = plan_query(300, 10, target_precision=0.6)
+        capped = plan_query(
+            300, 10, target_precision=0.6,
+            dollar_budget=roomy.predicted_dollars / 3,
+        )
+        assert capped.config.budget <= roomy.config.budget
+
+    def test_impossible_cap_reported_infeasible(self):
+        plan = plan_query(500, 10, target_precision=0.6, dollar_budget=0.05)
+        assert not plan.feasible
+        assert "INFEASIBLE" in plan.summary()
+        assert plan.predicted_dollars > 0.05
+
+    def test_prediction_scales_with_n(self):
+        small = plan_query(100, 5, target_precision=0.5)
+        large = plan_query(1000, 5, target_precision=0.5)
+        assert large.predicted_microtasks > small.predicted_microtasks
+
+    def test_noisier_crowd_costs_more(self):
+        quiet = plan_query(200, 10, target_precision=0.5, noise_sigma=0.5)
+        loud = plan_query(200, 10, target_precision=0.5, noise_sigma=3.0)
+        assert loud.predicted_microtasks > quiet.predicted_microtasks
+
+    def test_overhead_factor_applied(self):
+        plan = plan_query(100, 5, target_precision=0.5)
+        # The rationale must disclose the floor-times-overhead construction.
+        assert str(SPR_OVERHEAD_FACTOR) in plan.rationale
+
+
+class TestValidation:
+    def test_bad_k(self):
+        with pytest.raises(ConfigError):
+            plan_query(10, 10)
+
+    def test_bad_target(self):
+        with pytest.raises(ConfigError):
+            plan_query(100, 5, target_precision=0.0)
+
+    def test_bad_instance_prior(self):
+        with pytest.raises(ConfigError):
+            plan_query(100, 5, score_spread=0.0)
+
+
+class TestEndToEnd:
+    def test_plan_is_roughly_honest(self):
+        """Running SPR under the recommended config should land within a
+        small factor of the predicted microtasks."""
+        from repro.config import SPRConfig
+        from repro.core.spr import spr_topk
+        from repro.crowd.oracle import LatentScoreOracle
+        from repro.crowd.session import CrowdSession
+        from repro.crowd.workers import GaussianNoise
+        from repro.rng import make_rng
+
+        plan = plan_query(
+            80, 5, target_precision=0.6, score_spread=2.0, noise_sigma=1.0,
+            seed=1,
+        )
+        rng = make_rng(1)
+        scores = rng.normal(0.0, 2.0, size=80)
+        oracle = LatentScoreOracle(scores, GaussianNoise(1.0))
+        costs = []
+        for seed in range(3):
+            session = CrowdSession(oracle, plan.config, seed=seed)
+            spr_topk(
+                session, list(range(80)), 5, SPRConfig(comparison=plan.config)
+            )
+            costs.append(session.total_cost)
+        measured = sum(costs) / len(costs)
+        assert 0.2 < measured / plan.predicted_microtasks < 3.0

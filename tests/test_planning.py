@@ -1,0 +1,71 @@
+"""Closed-form cost planning vs measured infimum."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import infimum_estimate
+from repro.config import ComparisonConfig
+from repro.crowd.oracle import LatentScoreOracle
+from repro.crowd.session import CrowdSession
+from repro.crowd.workers import GaussianNoise
+from repro.stats.planning import predict_infimum_cost, predict_pair_workload
+from tests.conftest import make_items
+
+
+class TestPairWorkload:
+    def test_cold_start_floor(self):
+        assert predict_pair_workload(10.0, 1.0, 0.05, min_workload=30) == 30.0
+
+    def test_budget_ceiling(self):
+        assert predict_pair_workload(0.001, 1.0, 0.05, budget=500) == 500.0
+
+    def test_zero_gap_is_a_tie(self):
+        assert predict_pair_workload(0.0, 1.0, 0.05, budget=800) == 800.0
+
+    def test_unbounded_zero_gap_is_infinite(self):
+        assert predict_pair_workload(0.0, 1.0, 0.05, budget=None) == float("inf")
+
+    def test_interior_matches_student_fixed_point(self):
+        from repro.stats.workload import student_workload
+
+        gap, sigma, alpha = 0.3, 1.0, 0.05
+        expected = student_workload(gap, sigma, alpha)
+        assert 30 < expected < 1000  # interior of the clamp
+        assert predict_pair_workload(gap, sigma, alpha) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predict_pair_workload(1.0, 0.0, 0.05)
+        with pytest.raises(ValueError):
+            predict_pair_workload(1.0, 1.0, 0.05, min_workload=1)
+
+
+class TestInfimumPrediction:
+    def test_counts_lemma1_pairs(self):
+        # All gaps huge: every pair costs exactly the cold start.
+        scores = [0.0, 100.0, 200.0, 300.0, 400.0]
+        predicted = predict_infimum_cost(scores, 2, 1.0, 0.05, min_workload=30)
+        # k-1 = 1 adjacent + N-k = 3 prunes → 4 comparisons at the floor.
+        assert predicted == pytest.approx(4 * 30.0)
+
+    def test_prediction_tracks_measured_infimum(self):
+        rng = np.random.default_rng(8)
+        scores = rng.normal(0.0, 2.0, size=40)
+        sigma = 1.0
+        config = ComparisonConfig(confidence=0.95, budget=1000, min_workload=30)
+        predicted = predict_infimum_cost(
+            scores, 5, sigma * np.sqrt(2) / np.sqrt(2), config.alpha,
+            min_workload=30, budget=1000,
+        )
+        items = make_items(scores)
+        measured = []
+        for seed in range(5):
+            oracle = LatentScoreOracle(scores, GaussianNoise(sigma))
+            session = CrowdSession(oracle, config, seed=seed)
+            measured.append(infimum_estimate(session, items, 5).cost)
+        ratio = np.mean(measured) / predicted
+        assert 0.5 < ratio < 2.0
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            predict_infimum_cost([1.0, 2.0], 3, 1.0, 0.05)

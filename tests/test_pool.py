@@ -1,0 +1,125 @@
+"""RacingPool: equivalence with the sequential comparator, budgets, latency."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.pool import ACTIVE, DEACTIVATED, TIE, RacingPool
+from tests.conftest import make_latent_session
+
+
+class TestBasics:
+    def test_all_pairs_resolve(self):
+        session = make_latent_session([0.0, 2.0, 4.0, 6.0], sigma=0.5)
+        pool = RacingPool(session, [(1, 0), (2, 0), (3, 0), (0, 3)])
+        resolved = dict(pool.run_to_completion())
+        assert resolved == {0: 1, 1: 1, 2: 1, 3: -1}
+        assert pool.is_done
+
+    def test_tie_at_budget(self):
+        session = make_latent_session([1.0, 1.0], sigma=1.0, budget=40)
+        pool = RacingPool(session, [(0, 1)])
+        resolved = pool.run_to_completion()
+        assert resolved == [(0, 0)]
+        assert pool.status[0] == TIE
+        assert pool.n[0] == 40
+
+    def test_workload_matches_sequential_comparator(self):
+        # Same seed → same oracle stream → identical stopping points when a
+        # single pair races alone.
+        scores = [0.0, 1.2]
+        direct = make_latent_session(scores, sigma=1.0, seed=9)
+        record = direct.compare(1, 0)
+
+        pooled = make_latent_session(scores, sigma=1.0, seed=9)
+        pool = RacingPool(pooled, [(1, 0)])
+        (idx, code), = pool.run_to_completion()
+        assert code == 1
+        assert int(pool.n[idx]) == record.workload
+        assert pooled.total_cost == record.cost
+
+    def test_latency_one_round_per_racing_call(self):
+        session = make_latent_session([0.0, 5.0, 0.0, 0.01], sigma=2.0, budget=100)
+        pool = RacingPool(session, [(1, 0), (3, 2)])
+        rounds = 0
+        while not pool.is_done:
+            pool.round()
+            rounds += 1
+            assert session.total_rounds == rounds
+        drained = session.total_rounds
+        pool.round()  # nothing active: free
+        assert session.total_rounds == drained
+
+    def test_charge_latency_disabled(self):
+        session = make_latent_session([0.0, 5.0], sigma=1.0)
+        pool = RacingPool(session, [(1, 0)], charge_latency=False)
+        pool.run_to_completion()
+        assert session.total_rounds == 0
+
+    def test_invalid_step_rejected(self):
+        session = make_latent_session([0.0, 1.0])
+        pool = RacingPool(session, [(1, 0)])
+        with pytest.raises(ValueError):
+            pool.round(step=0)
+
+
+class TestCacheIntegration:
+    def test_consumed_samples_stored(self):
+        session = make_latent_session([0.0, 3.0], sigma=0.5)
+        pool = RacingPool(session, [(1, 0)])
+        pool.run_to_completion()
+        assert session.cache.count(1, 0) == int(pool.n[0])
+
+    def test_replay_decides_without_cost(self):
+        session = make_latent_session([0.0, 3.0], sigma=0.5)
+        session.compare(1, 0)
+        cost_before = session.total_cost
+        pool = RacingPool(session, [(1, 0)])
+        assert pool.initial_decisions == [(0, 1)]
+        assert pool.is_done
+        assert session.total_cost == cost_before
+
+    def test_no_cache_mode_leaves_cache_empty(self):
+        session = make_latent_session([0.0, 3.0], sigma=0.5)
+        pool = RacingPool(session, [(1, 0)], use_cache=False)
+        pool.run_to_completion()
+        assert session.cache.total_samples == 0
+
+    def test_replayed_tie_marked_at_init(self):
+        session = make_latent_session([1.0, 1.0], sigma=1.0, budget=40)
+        session.compare(0, 1)  # exhausts the pair budget
+        pool = RacingPool(session, [(0, 1)])
+        assert pool.initial_decisions == [(0, 0)]
+        assert pool.is_done
+
+
+class TestControls:
+    def test_deactivate_stops_racing(self):
+        session = make_latent_session([0.5, 0.5, 4.0], sigma=1.0, budget=100)
+        pool = RacingPool(session, [(0, 1), (2, 0)])
+        pool.deactivate(0)
+        resolved = pool.run_to_completion()
+        assert resolved == [(1, 1)]
+        assert pool.status[0] == DEACTIVATED
+
+    def test_moments_track_consumption(self):
+        session = make_latent_session([0.0, 2.0], sigma=0.5)
+        pool = RacingPool(session, [(1, 0)])
+        pool.run_to_completion()
+        n, mean, var = pool.moments(0)
+        assert n == int(pool.n[0])
+        assert mean == pytest.approx(2.0, abs=1.0)
+        assert var >= 0.0
+
+    def test_moments_empty(self):
+        session = make_latent_session([0.0, 2.0])
+        pool = RacingPool(session, [(1, 0)])
+        n, mean, var = pool.moments(0)
+        assert n == 0
+        assert np.isnan(mean)
+
+    def test_active_indices(self):
+        session = make_latent_session([0.0, 0.05, 4.0], sigma=2.0, budget=200)
+        pool = RacingPool(session, [(1, 0), (2, 0)])
+        pool.round()
+        # the far pair decided in round 1; the close pair keeps racing
+        assert pool.active_indices.tolist() == [0]

@@ -1,0 +1,84 @@
+"""Public-API hygiene: exports resolve, are documented, and stay stable."""
+
+import inspect
+import pathlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_entries_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_all_is_sorted_and_unique(self):
+        assert len(set(repro.__all__)) == len(repro.__all__)
+
+    def test_public_callables_are_documented(self):
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) and not isinstance(obj, type):
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(name)
+        assert not undocumented, undocumented
+
+    def test_public_classes_are_documented(self):
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if isinstance(obj, type) and not (obj.__doc__ or "").strip():
+                undocumented.append(name)
+        assert not undocumented, undocumented
+
+    def test_core_entry_points_present(self):
+        for name in (
+            "spr_topk", "CrowdSession", "ComparisonConfig", "SPRConfig",
+            "load_dataset", "ndcg_at_k", "plan_query", "trace_session",
+            "save_cache",
+        ):
+            assert name in repro.__all__, name
+
+    def test_version_is_pep440ish(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) >= 2
+        assert all(part.isdigit() for part in parts[:2])
+
+
+class TestModuleDocstrings:
+    def test_every_module_has_a_docstring(self):
+        src = pathlib.Path(repro.__file__).parent
+        missing = []
+        for path in sorted(src.rglob("*.py")):
+            text = path.read_text()
+            stripped = text.lstrip()
+            if not stripped:  # empty __init__ placeholders are not allowed
+                missing.append(str(path))
+            elif not stripped.startswith(('"""', "'''")):
+                missing.append(str(path))
+        assert not missing, missing
+
+
+class TestSubpackageExports:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.crowd",
+            "repro.core",
+            "repro.algorithms",
+            "repro.datasets",
+            "repro.metrics",
+            "repro.stats",
+            "repro.experiments",
+            "repro.extensions",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__")
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name}"

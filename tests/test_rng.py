@@ -1,0 +1,49 @@
+"""Deterministic RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.rng import make_rng, spawn, spawn_many, stream
+
+
+def test_make_rng_from_int_is_deterministic():
+    assert make_rng(42).random() == make_rng(42).random()
+
+
+def test_make_rng_passes_generators_through():
+    gen = np.random.default_rng(0)
+    assert make_rng(gen) is gen
+
+
+def test_make_rng_none_gives_generator():
+    assert isinstance(make_rng(None), np.random.Generator)
+
+
+def test_spawn_many_children_are_independent():
+    children = spawn_many(make_rng(7), 3)
+    draws = [child.random() for child in children]
+    assert len(set(draws)) == 3
+
+
+def test_spawn_many_deterministic_given_parent_seed():
+    a = [g.random() for g in spawn_many(make_rng(7), 3)]
+    b = [g.random() for g in spawn_many(make_rng(7), 3)]
+    assert a == b
+
+
+def test_spawn_advances_parent_state():
+    parent = make_rng(7)
+    first = spawn(parent).random()
+    second = spawn(parent).random()
+    assert first != second
+
+
+def test_spawn_many_rejects_negative():
+    with pytest.raises(ValueError):
+        spawn_many(make_rng(0), -1)
+
+
+def test_stream_yields_distinct_generators():
+    gen = stream(make_rng(3))
+    draws = {next(gen).random() for _ in range(5)}
+    assert len(draws) == 5

@@ -1,0 +1,56 @@
+"""Median-selection cost bounds (Appendix C, Table 10)."""
+
+import pytest
+
+from repro.stats.median_cost import (
+    MEDIAN_COST_BOUNDS,
+    bubble_median_comparisons,
+    median_cost_upper_bound,
+)
+
+
+def _exact_partial_bubble(m: int) -> int:
+    passes = (m + 1) // 2
+    return sum(m - i for i in range(1, passes + 1))
+
+
+@pytest.mark.parametrize("m", [1, 2, 3, 4, 5, 10, 15, 99])
+def test_exact_count_matches_sum(m):
+    assert bubble_median_comparisons(m) == _exact_partial_bubble(m)
+
+
+@pytest.mark.parametrize("m", [1, 3, 5, 15, 101])
+def test_exact_count_below_paper_bound(m):
+    # Appendix C: C(bubble, m) <= (3m^2 + m - 2) / 8.
+    assert bubble_median_comparisons(m) <= (3 * m * m + m - 2) / 8
+
+
+def test_bubble_bound_formula():
+    assert median_cost_upper_bound("bubble", 15) == pytest.approx(
+        (3 * 225 + 15 - 2) / 8
+    )
+
+
+def test_quick_bound_formula():
+    assert median_cost_upper_bound("quick", 10) == pytest.approx(45.0)
+
+
+def test_all_table10_algorithms_present():
+    assert set(MEDIAN_COST_BOUNDS) == {"bubble", "selection", "merge", "heap", "quick"}
+
+
+def test_bounds_positive_for_m_two_plus():
+    for name in MEDIAN_COST_BOUNDS:
+        assert median_cost_upper_bound(name, 9) > 0
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(ValueError):
+        median_cost_upper_bound("bogo", 5)
+
+
+def test_invalid_m_rejected():
+    with pytest.raises(ValueError):
+        bubble_median_comparisons(0)
+    with pytest.raises(ValueError):
+        median_cost_upper_bound("bubble", 0)

@@ -1,0 +1,43 @@
+"""Thurstone win probability."""
+
+import pytest
+from scipy.special import ndtr
+
+from repro.stats.thurstone import win_probability
+
+
+def test_equal_means_is_half():
+    assert win_probability(0.0, 1.0, 0.0, 1.0) == pytest.approx(0.5)
+
+
+def test_matches_phi_formula():
+    expected = float(ndtr((2.0 - 1.0) / (0.5**2 + 0.75**2) ** 0.5))
+    assert win_probability(2.0, 0.25, 1.0, 0.5625) == pytest.approx(expected)
+
+
+def test_symmetry():
+    p = win_probability(1.0, 0.3, 0.2, 0.7)
+    q = win_probability(0.2, 0.7, 1.0, 0.3)
+    assert p + q == pytest.approx(1.0)
+
+
+def test_degenerate_variances_resolve_by_mean():
+    assert win_probability(1.0, 0.0, 0.0, 0.0) == 1.0
+    assert win_probability(-1.0, 0.0, 0.0, 0.0) == 0.0
+    assert win_probability(0.5, 0.0, 0.5, 0.0) == 0.5
+
+
+def test_monotone_in_mean_gap():
+    probs = [win_probability(mu, 1.0, 0.0, 1.0) for mu in (-1.0, 0.0, 1.0, 2.0)]
+    assert probs == sorted(probs)
+
+
+def test_larger_spread_pulls_towards_half():
+    tight = win_probability(1.0, 0.01, 0.0, 0.01)
+    loose = win_probability(1.0, 4.0, 0.0, 4.0)
+    assert tight > loose > 0.5
+
+
+def test_negative_variance_rejected():
+    with pytest.raises(ValueError):
+        win_probability(0.0, -1.0, 0.0, 1.0)

@@ -1,0 +1,80 @@
+"""Closed-form workload predictors (Appendix D)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import StudentTester
+from repro.stats.workload import binary_workload, student_workload, workload_ratio
+
+
+class TestStudentWorkload:
+    def test_fixed_point_is_consistent(self):
+        n = student_workload(0.5, 1.0, 0.05)
+        from repro.stats.tdist import t_quantile
+
+        df = max(int(math.ceil(n)) - 1, 1)
+        assert n == pytest.approx((t_quantile(0.05, df) * 2.0) ** 2, rel=1e-6)
+
+    def test_scales_with_inverse_square_gap(self):
+        # Asymptotic 1/mu^2 scaling (holds once n is large enough that the
+        # t quantile has flattened; tiny-n predictions sit above the law).
+        wide = student_workload(0.1, 1.0, 0.05)
+        narrow = student_workload(0.01, 1.0, 0.05)
+        assert narrow / wide == pytest.approx(100.0, rel=0.05)
+
+    def test_grows_with_confidence(self):
+        assert student_workload(0.5, 1.0, 0.01) > student_workload(0.5, 1.0, 0.1)
+
+    def test_predicts_empirical_scale(self):
+        # Monte-Carlo check: the prediction lands within a factor ~2 of the
+        # average empirical stopping time (expected-scale approximation).
+        mu, sigma, alpha = 0.5, 1.0, 0.05
+        predicted = student_workload(mu, sigma, alpha)
+        stops = []
+        for seed in range(40):
+            values = np.random.default_rng(seed).normal(mu, sigma, size=5000)
+            tester = StudentTester(alpha=alpha, min_workload=2)
+            consumed, decision = tester.scan(values)
+            if decision != 1:  # rare alpha-level wrong/undecided runs
+                continue
+            stops.append(consumed)
+        empirical = np.mean(stops)
+        assert 0.4 < empirical / predicted < 2.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            student_workload(0.0, 1.0, 0.05)
+        with pytest.raises(ValueError):
+            student_workload(0.5, -1.0, 0.05)
+        with pytest.raises(ValueError):
+            student_workload(0.5, 1.0, 1.5)
+
+
+class TestBinaryWorkload:
+    def test_equation3_closed_form(self):
+        mu, sigma, alpha = 0.5, 1.0, 0.05
+        from scipy.special import ndtr
+
+        shifted = 2 * ndtr(mu / sigma) - 1
+        assert binary_workload(mu, sigma, alpha) == pytest.approx(
+            2.0 / shifted**2 * math.log(2 / alpha)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binary_workload(-1.0, 1.0, 0.05)
+
+
+class TestWorkloadRatio:
+    @pytest.mark.parametrize("mu", [0.05, 0.2, 0.5, 1.0, 2.0])
+    @pytest.mark.parametrize("sigma", [0.3, 1.0, 2.5])
+    def test_binary_always_costs_more(self, mu, sigma):
+        assert workload_ratio(mu, sigma, 0.05) > 1.0
+
+    def test_small_gap_limit(self):
+        # ratio → pi * ln(2/alpha) / z^2 as mu/sigma → 0
+        alpha = 0.05
+        limit = math.pi * math.log(2 / alpha) / 1.959963984540054**2
+        assert workload_ratio(0.001, 1.0, alpha) == pytest.approx(limit, rel=0.01)

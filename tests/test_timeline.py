@@ -1,0 +1,76 @@
+"""Wall-clock projection of the round-based latency model."""
+
+import pytest
+
+from repro.crowd.timeline import (
+    BINARY_TASK_SECONDS,
+    PREFERENCE_TASK_SECONDS,
+    WallClockEstimate,
+    project_wall_clock,
+)
+from tests.conftest import make_latent_session
+
+
+def session_with_spending(seed=0):
+    session = make_latent_session(
+        [0.0, 2.0, 4.0, 6.0, 0.1], sigma=1.0, seed=seed, batch_size=10
+    )
+    session.compare_group([(1, 0), (3, 2)])
+    session.compare(4, 0)
+    return session
+
+
+class TestProjection:
+    def test_empty_session_takes_no_time(self):
+        estimate = project_wall_clock(make_latent_session([0.0, 1.0]))
+        assert estimate.seconds == 0.0
+
+    def test_projection_scales_with_rounds(self):
+        session = session_with_spending()
+        few_workers = project_wall_clock(session, workers=1)
+        many_workers = project_wall_clock(session, workers=100)
+        assert few_workers.seconds >= many_workers.seconds
+        assert many_workers.rounds == session.total_rounds
+
+    def test_round_floor_is_one_answer_time(self):
+        session = session_with_spending()
+        estimate = project_wall_clock(
+            session, workers=10_000, posting_overhead_seconds=0.0
+        )
+        assert estimate.seconds >= session.total_rounds * PREFERENCE_TASK_SECONDS
+
+    def test_binary_tasks_are_faster(self):
+        session = session_with_spending()
+        preference = project_wall_clock(session, workers=1)
+        binary = project_wall_clock(
+            session, workers=1, task_seconds=BINARY_TASK_SECONDS
+        )
+        assert binary.seconds < preference.seconds
+
+    def test_paper_scale_sanity(self):
+        # The paper's PeopleAge run: ~10.5k microtasks in ~7 hours.  The
+        # default projection must land in the same order of magnitude for
+        # a comparable spend profile.
+        session = make_latent_session(
+            [float(i) for i in range(4)], sigma=1.0, batch_size=30
+        )
+        session.charge_cost(10_560)
+        session.charge_rounds(320)
+        estimate = project_wall_clock(session, workers=30)
+        assert 1.0 < estimate.hours < 24.0
+
+    def test_summary_and_hours(self):
+        estimate = WallClockEstimate(
+            seconds=7200.0, rounds=10, microtasks=300, workers=30
+        )
+        assert estimate.hours == pytest.approx(2.0)
+        assert "300" in estimate.summary()
+
+    def test_validation(self):
+        session = session_with_spending()
+        with pytest.raises(ValueError):
+            project_wall_clock(session, workers=0)
+        with pytest.raises(ValueError):
+            project_wall_clock(session, task_seconds=0.0)
+        with pytest.raises(ValueError):
+            project_wall_clock(session, posting_overhead_seconds=-1.0)

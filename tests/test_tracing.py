@@ -1,0 +1,110 @@
+"""Query tracing: event capture, phase accounting, exports."""
+
+import json
+
+import pytest
+
+from repro.core.spr import spr_topk
+from repro.tracing import trace_session
+from tests.conftest import make_latent_session
+
+SCORES = [float(i) for i in range(12)]
+
+
+def clean_session(seed=0, **kwargs):
+    defaults = dict(sigma=0.4, min_workload=5, batch_size=10, budget=100)
+    defaults.update(kwargs)
+    return make_latent_session(SCORES, seed=seed, **defaults)
+
+
+class TestEventCapture:
+    def test_every_compare_is_recorded(self):
+        session = clean_session()
+        trace = trace_session(session)
+        session.compare(5, 0)
+        session.compare(9, 1)
+        assert trace.total_comparisons == 2
+        assert trace.events[0].left == 5
+        assert trace.events[0].outcome == "LEFT"
+        assert trace.events[1].cumulative_cost == session.total_cost
+
+    def test_group_comparisons_traced_too(self):
+        session = clean_session()
+        trace = trace_session(session)
+        session.compare_group([(5, 0), (9, 1)])
+        assert trace.total_comparisons == 2
+
+    def test_cached_comparisons_flagged(self):
+        session = clean_session()
+        trace = trace_session(session)
+        session.compare(5, 0)
+        session.compare(5, 0)
+        assert trace.cached_comparisons == 1
+
+    def test_most_expensive_orders_by_cost(self):
+        session = make_latent_session(
+            [0.0, 5.0, 5.05], sigma=2.0,
+            min_workload=5, batch_size=10, budget=300,
+        )
+        trace = trace_session(session)
+        session.compare(1, 0)   # easy: gap 5
+        session.compare(2, 1)   # near-tie: gap 0.05
+        top = trace.most_expensive(1)
+        assert top[0].left == 2
+
+    def test_record_return_value_passthrough(self):
+        session = clean_session()
+        trace_session(session)
+        record = session.compare(5, 0)
+        assert record.winner == 5
+
+
+class TestPhases:
+    def test_phase_totals_reconcile_with_ledgers(self):
+        session = clean_session()
+        trace = trace_session(session)
+        trace.mark_phase(session, "warmup")
+        session.compare(5, 0)
+        trace.mark_phase(session, "main")
+        session.compare(9, 1)
+        session.compare(11, 2)
+        trace.finish(session)
+
+        summaries = {s.phase: s for s in trace.phase_summaries()}
+        assert summaries["warmup"].comparisons == 1
+        assert summaries["main"].comparisons == 2
+        assert (
+            summaries["warmup"].cost + summaries["main"].cost
+            + summaries.get("query", summaries["warmup"]).cost * 0
+            == session.total_cost
+        )
+
+    def test_full_spr_query_traced(self):
+        session = clean_session()
+        trace = trace_session(session)
+        spr_topk(session, list(range(12)), 3)
+        trace.finish(session)
+        assert trace.total_comparisons > 0
+        # The racing pool buys in bulk: ledger totals still reconcile.
+        total_cost = sum(s.cost for s in trace.phase_summaries())
+        assert total_cost == session.total_cost
+
+
+class TestExports:
+    def test_text_rendering_and_truncation(self):
+        session = clean_session()
+        trace = trace_session(session)
+        for item in range(1, 12):
+            session.compare(item, 0)
+        text = trace.to_text(limit=5)
+        assert "more events" in text
+        assert "COMP(1, 0)" in text
+
+    def test_json_export(self):
+        session = clean_session()
+        trace = trace_session(session)
+        session.compare(5, 0)
+        trace.finish(session)
+        payload = json.loads(trace.to_json())
+        assert payload["events"][0]["left"] == 5
+        assert payload["phases"][0]["phase"] == "query"

@@ -1,0 +1,83 @@
+"""Empirical confidence calibration utilities."""
+
+import math
+
+import pytest
+
+from repro.config import ComparisonConfig
+from repro.stats.validation import CalibrationReport, calibrate_tester
+
+
+class TestCalibrateTester:
+    def test_easy_gap_always_decides_correctly(self):
+        config = ComparisonConfig(confidence=0.95, budget=500, min_workload=10)
+        report = calibrate_tester(config, true_mean=2.0, sigma=0.5, trials=100)
+        assert report.decided == 100
+        assert report.errors == 0
+        assert report.error_rate == 0.0
+        assert report.within_guarantee
+        assert report.workload_mean == pytest.approx(10.0)  # decides at I
+
+    def test_hopeless_gap_often_ties(self):
+        config = ComparisonConfig(confidence=0.98, budget=50, min_workload=10)
+        report = calibrate_tester(config, true_mean=0.01, sigma=2.0, trials=50)
+        assert report.decided < report.trials  # ties happen
+        assert report.within_guarantee
+
+    def test_error_rate_within_alpha_band(self):
+        config = ComparisonConfig(confidence=0.8, budget=5000, min_workload=30)
+        report = calibrate_tester(config, true_mean=0.2, sigma=1.0, trials=400)
+        assert report.decided > 300
+        assert report.within_guarantee
+
+    def test_negative_mean_counts_left_errors(self):
+        config = ComparisonConfig(confidence=0.9, budget=500, min_workload=10)
+        report = calibrate_tester(config, true_mean=-1.0, sigma=0.5, trials=50)
+        assert report.errors == 0  # verdicts must all be -1
+
+    def test_workload_percentiles_ordered(self):
+        config = ComparisonConfig(confidence=0.95, budget=5000, min_workload=30)
+        report = calibrate_tester(config, true_mean=0.3, sigma=1.0, trials=100)
+        assert report.workload_p50 <= report.workload_p90
+        assert report.workload_mean >= 30
+
+    def test_binary_mode_uses_sign_stream(self):
+        config = ComparisonConfig(
+            confidence=0.95, budget=5000, min_workload=10, estimator="hoeffding"
+        )
+        binary = calibrate_tester(
+            config, true_mean=0.5, sigma=1.0, trials=100,
+            value_range=2.0, binary=True,
+        )
+        preference = calibrate_tester(
+            ComparisonConfig(confidence=0.95, budget=5000, min_workload=10),
+            true_mean=0.5, sigma=1.0, trials=100,
+        )
+        assert binary.workload_mean > preference.workload_mean
+
+    def test_validation(self):
+        config = ComparisonConfig()
+        with pytest.raises(ValueError):
+            calibrate_tester(config, true_mean=0.0, sigma=1.0)
+        with pytest.raises(ValueError):
+            calibrate_tester(config, true_mean=1.0, sigma=0.0)
+        with pytest.raises(ValueError):
+            calibrate_tester(config, true_mean=1.0, sigma=1.0, trials=0)
+
+    def test_deterministic_given_seed(self):
+        config = ComparisonConfig(confidence=0.9, budget=200, min_workload=10)
+        a = calibrate_tester(config, true_mean=0.4, sigma=1.0, trials=50, seed=3)
+        b = calibrate_tester(config, true_mean=0.4, sigma=1.0, trials=50, seed=3)
+        assert a == b
+
+
+class TestReportProperties:
+    def test_empty_decided_is_safe(self):
+        report = CalibrationReport(
+            true_mean=0.1, sigma=1.0, alpha=0.05, trials=10,
+            decided=0, errors=0,
+            workload_mean=math.nan, workload_p50=math.nan, workload_p90=math.nan,
+        )
+        assert report.error_rate == 0.0
+        assert report.decision_rate == 0.0
+        assert report.within_guarantee

@@ -1,0 +1,48 @@
+"""Worker noise models."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.workers import CarelessWorkerNoise, GaussianNoise
+
+
+class TestGaussianNoise:
+    def test_moments(self, rng):
+        noise = GaussianNoise(2.0).sample(20_000, rng)
+        assert noise.mean() == pytest.approx(0.0, abs=0.05)
+        assert noise.std() == pytest.approx(2.0, abs=0.05)
+
+    def test_zero_sigma_is_silent(self, rng):
+        assert np.all(GaussianNoise(0.0).sample(10, rng) == 0.0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(-1.0)
+
+
+class TestCarelessWorkerNoise:
+    def test_contamination_fattens_tails(self, rng):
+        honest = GaussianNoise(1.0).sample(50_000, rng)
+        sloppy = CarelessWorkerNoise(
+            sigma=1.0, careless_rate=0.3, spread=8.0
+        ).sample(50_000, rng)
+        assert np.abs(sloppy).max() > np.abs(honest).max()
+        assert sloppy.std() > honest.std()
+
+    def test_zero_rate_matches_gaussian_scale(self, rng):
+        noise = CarelessWorkerNoise(sigma=1.5, careless_rate=0.0).sample(20_000, rng)
+        assert noise.std() == pytest.approx(1.5, abs=0.05)
+
+    def test_still_zero_mean(self, rng):
+        noise = CarelessWorkerNoise(
+            sigma=1.0, careless_rate=0.5, spread=5.0
+        ).sample(50_000, rng)
+        assert noise.mean() == pytest.approx(0.0, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CarelessWorkerNoise(careless_rate=1.5)
+        with pytest.raises(ValueError):
+            CarelessWorkerNoise(spread=0.0)
+        with pytest.raises(ValueError):
+            CarelessWorkerNoise(sigma=-1.0)
