@@ -3,7 +3,11 @@
 Every benchmark regenerates one table or figure of the paper and `emit`s
 the resulting report: printed to the terminal (visible with ``-s`` /
 ``-rA``) and persisted under ``benchmarks/results/`` so EXPERIMENTS.md can
-cite the exact artifacts.
+cite the exact artifacts.  Each run also executes under a fresh telemetry
+registry, and ``emit`` writes its snapshot to
+``benchmarks/results/<name>.telemetry.json`` — counters, histogram
+quantiles, and phase spans — so runs are comparable machine-to-machine
+(see docs/observability.md).
 
 Run with::
 
@@ -16,21 +20,34 @@ fidelity (see EXPERIMENTS.md for the counts used in the recorded results).
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
+from repro.telemetry import MetricsRegistry, use_registry
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+@pytest.fixture(autouse=True)
+def telemetry_registry():
+    """A fresh process-wide registry scoped to each benchmark."""
+    with use_registry(MetricsRegistry()) as registry:
+        yield registry
+
+
 @pytest.fixture
-def emit():
-    """Print report(s) and persist them under benchmarks/results/."""
+def emit(telemetry_registry):
+    """Print report(s), persist them, and snapshot the run's telemetry."""
 
     def _emit(name: str, *reports) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         text = "\n\n".join(report.to_text() for report in reports)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        (RESULTS_DIR / f"{name}.telemetry.json").write_text(
+            json.dumps(telemetry_registry.snapshot(), indent=2) + "\n"
+        )
         print()
         print(text)
 

@@ -64,6 +64,13 @@ from .errors import (
 from .metrics import kendall_tau, ndcg_at_k, top_k_precision, top_k_recall
 from .persistence import cache_from_json, cache_to_json, load_cache, save_cache
 from .planner import QueryPlan, plan_query
+from .telemetry import (
+    JsonlSink,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
 from .tracing import QueryTrace, trace_session
 
 __version__ = "1.0.0"
@@ -84,9 +91,11 @@ __all__ = [
     "DatasetError",
     "HistogramOracle",
     "ItemSet",
+    "JsonlSink",
     "JudgmentCache",
     "JudgmentOracle",
     "LatentScoreOracle",
+    "MetricsRegistry",
     "OracleError",
     "Outcome",
     "PartitionResult",
@@ -109,11 +118,14 @@ __all__ = [
     "QueryTrace",
     "cache_from_json",
     "cache_to_json",
+    "get_registry",
     "load_cache",
     "partition",
     "plan_query",
     "save_cache",
+    "set_registry",
     "trace_session",
+    "use_registry",
     "pbr_topk",
     "quickselect_topk",
     "reference_sort",

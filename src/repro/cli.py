@@ -12,13 +12,19 @@ Examples::
 
     crowd-topk query --dataset jester --method spr -k 10 --seed 7
     crowd-topk query --dataset imdb --method heapsort -k 5 --n-items 200
-    crowd-topk experiment table7 --runs 3
+    crowd-topk query --method spr --telemetry /tmp/query.jsonl
+    crowd-topk -v experiment table7 --runs 3
     crowd-topk experiment fig8 --dataset book --runs 2
+
+``--telemetry PATH`` streams phase spans to a JSONL file, appends the full
+metrics snapshot, and prints a summary table; ``-v`` / ``-vv`` raise the
+``repro`` logger to INFO / DEBUG (see docs/observability.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from collections.abc import Sequence
 
@@ -42,8 +48,24 @@ from .experiments import (
 )
 from .metrics import ndcg_at_k, top_k_precision
 from .planner import plan_query
+from .telemetry import JsonlSink, MetricsRegistry, use_registry
 
 __all__ = ["main", "build_parser"]
+
+
+def _configure_logging(verbosity: int) -> None:
+    """Point the ``repro`` logger at stderr at the requested level."""
+    if verbosity <= 0:
+        return
+    level = logging.INFO if verbosity == 1 else logging.DEBUG
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        root.addHandler(handler)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,6 +76,10 @@ def build_parser() -> argparse.ArgumentParser:
         "pairwise judgments (SIGMOD'17 reproduction).",
     )
     parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log decision points to stderr (-v: INFO, -vv: DEBUG)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("datasets", help="list the built-in datasets")
@@ -70,6 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--confidence", type=float, default=0.98)
     query.add_argument("--budget", type=int, default=1000)
     query.add_argument("--seed", type=int, default=0)
+    query.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="write phase spans and a metrics snapshot to a JSONL file",
+    )
 
     plan = commands.add_parser(
         "plan", help="recommend a configuration for a deployment"
@@ -115,9 +145,26 @@ def _cmd_query(args: argparse.Namespace) -> int:
     )
     dataset = load_dataset(args.dataset)
     working = dataset.sample_items(args.n_items)
-    session = dataset.session(params.comparison_config(), seed=args.seed)
-    algorithm = ALGORITHMS[args.method]
-    outcome = algorithm(session, working.ids.tolist(), args.k)
+    sink = JsonlSink(args.telemetry) if args.telemetry else None
+    if sink is not None:
+        try:
+            sink.open()  # fail before the query, not after
+        except OSError as exc:
+            print(f"error: cannot write telemetry to {sink.path}: {exc}",
+                  file=sys.stderr)
+            return 1
+
+    # One fresh registry per query: the snapshot then reconciles exactly
+    # with this session's cost ledger.
+    with use_registry(MetricsRegistry()) as registry:
+        if sink is not None:
+            registry.add_listener(sink.write_event)
+        session = dataset.session(params.comparison_config(), seed=args.seed)
+        algorithm = ALGORITHMS[args.method]
+        outcome = algorithm(session, working.ids.tolist(), args.k)
+        if sink is not None:
+            sink.write_snapshot(registry)
+            sink.close()
 
     print(f"top-{args.k} by {args.method} on {args.dataset} "
           f"(N={len(working)}, 1-a={args.confidence}, B={args.budget}):")
@@ -127,6 +174,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
     print(f"TMC: {outcome.cost:,} microtasks | latency: {outcome.rounds:,} rounds")
     print(f"NDCG@{args.k}: {ndcg_at_k(working, outcome.topk, args.k):.3f} | "
           f"precision: {top_k_precision(working, outcome.topk, args.k):.2f}")
+    if sink is not None:
+        print()
+        print(registry.summary_table())
+        print(f"telemetry written to {sink.path}")
     return 0
 
 
@@ -238,6 +289,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    _configure_logging(args.verbose)
     if args.command == "datasets":
         return _cmd_datasets(args)
     if args.command == "query":

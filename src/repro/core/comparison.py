@@ -14,6 +14,7 @@ the monetary cost is identical to the strictly sequential Algorithm 1.
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -21,6 +22,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..config import ComparisonConfig
+from ..telemetry import get_registry
 from .cache import JudgmentCache
 from .estimators import make_tester
 from .outcomes import Outcome
@@ -29,6 +31,8 @@ if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
     from ..crowd.oracle import JudgmentOracle
 
 __all__ = ["Comparator", "ComparisonRecord"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -119,16 +123,28 @@ class Comparator:
         cached = self.cache.bag(i, j)
         if cached.size:
             _, decision = tester.scan(cached[:budget])
+            if decision is not None and logger.isEnabledFor(logging.DEBUG):
+                logger.debug(
+                    "cache hit: COMP(%d, %d) decided from %d stored judgments",
+                    i, j, tester.n,
+                )
 
         cost = 0
         rounds = 0
+        judgments_drawn = get_registry().counter("oracle_judgments_total")
         while decision is None and tester.n < budget:
             chunk = min(config.batch_size, budget - tester.n)
             values = self.oracle.draw(i, j, chunk, rng)
+            judgments_drawn.inc(chunk)
             consumed, decision = tester.scan(values)
             self.cache.append(i, j, values[:consumed])
             cost += consumed
             rounds += 1
+        if decision is None and logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "budget tie: COMP(%d, %d) undecided after %d samples (B=%d)",
+                i, j, tester.n, budget,
+            )
 
         state = tester.state
         std = state.std if state.n >= 2 else math.nan

@@ -16,6 +16,7 @@ always partition the input exactly.
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -27,6 +28,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ...crowd.session import CrowdSession
 
 __all__ = ["PartitionResult", "partition"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -96,6 +99,7 @@ def partition(
         raise AlgorithmError("max_reference_changes must be >= 0")
 
     cost_before, rounds_before = session.spent()
+    telemetry = session.telemetry
     winners: list[int] = []
     losers: list[int] = []
     ties: list[int] = []
@@ -114,6 +118,11 @@ def partition(
                 losers.append(item)
             else:
                 ties.append(item)
+                telemetry.counter("spr_deferments_total").inc()
+                logger.debug(
+                    "deferment: item %d could not be separated from "
+                    "reference %d within the per-pair budget", item, reference,
+                )
         resolved_backlog = []
 
         # Lines 9-12: swap in a better reference once k winners exist and
@@ -129,6 +138,11 @@ def partition(
             winners.remove(new_reference)
             restart = [int(pool.left[i]) for i in pool.active_indices] + ties
             ties = []
+            telemetry.counter("spr_reference_changes_total").inc()
+            logger.info(
+                "reference change %d: %d -> %d with %d pairs restarting",
+                changes + 1, reference, new_reference, len(restart),
+            )
             reference = new_reference
             changes += 1
             pool = RacingPool(session, [(item, reference) for item in restart])

@@ -15,6 +15,7 @@ items get pruned against it.  The procedure:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -28,6 +29,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ...crowd.session import CrowdSession
 
 __all__ = ["SelectionResult", "select_reference"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -86,6 +89,12 @@ def select_reference(
     reference = maxima[0] if plan.m == 1 else median_of_multiset(session, maxima)
 
     cost_after, rounds_after = session.spent()
+    logger.debug(
+        "selected reference %d from %d procedures of %d draws "
+        "(%d microtasks, %d rounds)",
+        int(reference), plan.m, plan.x,
+        cost_after - cost_before, rounds_after - rounds_before,
+    )
     return SelectionResult(
         reference=int(reference),
         plan=plan,

@@ -87,10 +87,12 @@ def spr_topk(
     if not 1 <= k <= len(ids):
         raise AlgorithmError(f"k must be in [1, {len(ids)}], got {k}")
     cost_before, rounds_before = session.spent()
+    telemetry = session.telemetry
 
     # Degenerate / base cases: nothing to prune, just sort.
     if k == len(ids) or len(ids) < config.min_items_for_selection:
-        ranked = reference_sort(session, ids, reference=None)
+        with telemetry.span("spr.rank", session=session, items=len(ids), k=k):
+            ranked = reference_sort(session, ids, reference=None)
         cost_after, rounds_after = session.spent()
         return SPRResult(
             topk=tuple(ranked[:k]),
@@ -111,20 +113,22 @@ def spr_topk(
         selection_cap = 2 * session.config.min_workload
     selection_budget = min(session.config.effective_budget, selection_cap)
     selection_session = session.fork(budget=selection_budget)
-    selection = select_reference(
-        selection_session,
-        ids,
-        k,
-        sweet_spot=config.sweet_spot,
-        budget_factor=config.selection_budget_factor,
-    )
-    part = partition(
-        session,
-        ids,
-        k,
-        selection.reference,
-        max_reference_changes=config.max_reference_changes,
-    )
+    with telemetry.span("spr.select", session=session, items=len(ids), k=k):
+        selection = select_reference(
+            selection_session,
+            ids,
+            k,
+            sweet_spot=config.sweet_spot,
+            budget_factor=config.selection_budget_factor,
+        )
+    with telemetry.span("spr.partition", session=session, items=len(ids), k=k):
+        part = partition(
+            session,
+            ids,
+            k,
+            selection.reference,
+            max_reference_changes=config.max_reference_changes,
+        )
     winners = list(part.winners)
     ties = list(part.ties)
     losers = list(part.losers)
@@ -142,6 +146,7 @@ def spr_topk(
             math.ceil(3 * config.sweet_spot * k), config.min_items_for_selection
         )
         if len(winners) > blow_up_at:
+            telemetry.counter("spr_recursions_total").inc()
             inner = spr_topk(session, winners, k, config)
             cost_after, rounds_after = session.spent()
             return SPRResult(
@@ -163,11 +168,15 @@ def spr_topk(
         # Lines 7-9: even the ties cannot fill the result — recurse into
         # the losers for the remainder.
         recursed = True
+        telemetry.counter("spr_recursions_total").inc()
         shortfall = k - len(winners) - len(ties)
         tail = spr_topk(session, losers, shortfall, config)
         candidates = winners + ties + list(tail.topk)
 
-    ranked = reference_sort(session, candidates, reference=part.reference)
+    with telemetry.span(
+        "spr.rank", session=session, items=len(candidates), k=k
+    ):
+        ranked = reference_sort(session, candidates, reference=part.reference)
     cost_after, rounds_after = session.spent()
     return SPRResult(
         topk=tuple(ranked[:k]),

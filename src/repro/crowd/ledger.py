@@ -11,11 +11,14 @@ The two performance factors of §6.2 are tracked by separate ledgers:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 from ..errors import BudgetExhaustedError
 
 __all__ = ["CostLedger", "LatencyLedger"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -33,6 +36,10 @@ class CostLedger:
             raise ValueError(f"cannot charge {n} microtasks")
         self.microtasks += n
         if self.ceiling is not None and self.microtasks > self.ceiling:
+            logger.warning(
+                "budget exhausted: total monetary cost %d crossed the session "
+                "ceiling %d", self.microtasks, self.ceiling,
+            )
             raise BudgetExhaustedError(
                 f"total monetary cost {self.microtasks} exceeded the "
                 f"session ceiling {self.ceiling}"

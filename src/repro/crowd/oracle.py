@@ -25,12 +25,14 @@ absolute *graded* judgments for the Hybrid baselines.
 
 from __future__ import annotations
 
+import logging
 from abc import ABC, abstractmethod
 from collections.abc import Mapping
 
 import numpy as np
 
 from ..errors import OracleError
+from ..telemetry import get_registry
 from .workers import GaussianNoise, WorkerNoise
 
 __all__ = [
@@ -41,6 +43,8 @@ __all__ = [
     "RecordDatabaseOracle",
     "BinaryOracle",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 class JudgmentOracle(ABC):
@@ -402,6 +406,13 @@ class BinaryOracle(JudgmentOracle):
             if zeros.size == 0:
                 return out
             self.wasted += int(zeros.size)
+            get_registry().counter("oracle_wasted_judgments_total").inc(
+                int(zeros.size)
+            )
+            logger.debug(
+                "binary oracle re-drew %d tied judgments for pair (%d, %d)",
+                int(zeros.size), i, j,
+            )
             out[zeros] = np.sign(self._base.draw(i, j, zeros.size, rng))
         raise OracleError(
             f"pair ({i}, {j}) keeps producing exactly-tied judgments; "
@@ -421,6 +432,9 @@ class BinaryOracle(JudgmentOracle):
             if rows.size == 0:
                 return out
             self.wasted += int(rows.size)
+            get_registry().counter("oracle_wasted_judgments_total").inc(
+                int(rows.size)
+            )
             redraw = np.sign(
                 self._base.draw_pairs(
                     np.asarray(left)[rows], np.asarray(right)[rows], 1, rng

@@ -69,6 +69,7 @@ class RacingPool:
         self.charge_latency = charge_latency
         self._tester = make_tester(self.config, session.oracle.value_range)
         self._budget = self.config.effective_budget
+        self._telemetry = session.telemetry
 
         count = len(pairs)
         self.left = np.asarray([p[0] for p in pairs], dtype=np.int64)
@@ -106,6 +107,10 @@ class RacingPool:
             elif self.n[idx] >= self._budget:
                 self.status[idx] = TIE
                 self.initial_decisions.append((idx, 0))
+        if self.initial_decisions:
+            self._telemetry.counter("crowd_cache_hits_total").inc(
+                len(self.initial_decisions)
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -215,6 +220,12 @@ class RacingPool:
         self.session.charge_cost(int(consumed.sum()))
         if self.charge_latency:
             self.session.charge_rounds(1)
+        self._telemetry.counter("crowd_pool_rounds_total").inc()
+        self._telemetry.counter("oracle_judgments_total").inc(active.size * step)
+        if exhausted_rows.size:
+            self._telemetry.counter("crowd_budget_ties_total").inc(
+                int(exhausted_rows.size)
+            )
         return resolved
 
     def _stein_codes(

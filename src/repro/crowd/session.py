@@ -9,18 +9,22 @@ so that TMC and latency are measured uniformly across methods.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable
 
 import numpy as np
 
 from ..config import ComparisonConfig
 from ..core.cache import JudgmentCache
 from ..core.comparison import Comparator, ComparisonRecord
+from ..core.outcomes import Outcome
 from ..rng import make_rng
+from ..telemetry import MetricsRegistry, get_registry
 from .ledger import CostLedger, LatencyLedger
 from .oracle import JudgmentOracle
 
 __all__ = ["CrowdSession"]
+
+CompareListener = Callable[["CrowdSession", ComparisonRecord], None]
 
 
 class CrowdSession:
@@ -40,6 +44,10 @@ class CrowdSession:
         crossing it raises :class:`~repro.errors.BudgetExhaustedError`.
         Per-pair budgets are handled by the comparison process itself and
         never raise.
+    telemetry:
+        Optional per-session metrics registry.  When omitted the session
+        reports into the process-wide registry *at call time*, so
+        :func:`repro.telemetry.use_registry` scopes correctly.
     """
 
     def __init__(
@@ -48,6 +56,7 @@ class CrowdSession:
         config: ComparisonConfig | None = None,
         seed: int | None | np.random.Generator = None,
         max_total_cost: int | None = None,
+        telemetry: MetricsRegistry | None = None,
     ) -> None:
         self.oracle = oracle
         self.config = config if config is not None else ComparisonConfig()
@@ -56,6 +65,48 @@ class CrowdSession:
         self.comparator = Comparator(oracle, self.config, self.cache)
         self.cost = CostLedger(ceiling=max_total_cost)
         self.latency = LatencyLedger()
+        self._telemetry = telemetry
+        self._compare_listeners: list[CompareListener] = []
+        self._instrument_cache: tuple | None = None
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def telemetry(self) -> MetricsRegistry:
+        """The registry this session reports into (never None)."""
+        return self._telemetry if self._telemetry is not None else get_registry()
+
+    def _instruments(self) -> tuple:
+        """The hot-path metric handles, re-bound when the registry changes."""
+        registry = self.telemetry
+        cached = self._instrument_cache
+        if cached is None or cached[0] is not registry:
+            cached = (
+                registry,
+                registry.counter("crowd_comparisons_total"),
+                registry.counter("crowd_microtasks_total"),
+                registry.counter("crowd_cache_hits_total"),
+                registry.counter("crowd_budget_ties_total"),
+                registry.histogram("crowd_comparison_workload"),
+            )
+            self._instrument_cache = cached
+        return cached
+
+    def add_compare_listener(self, listener: CompareListener) -> None:
+        """Subscribe to every :meth:`compare` record (idempotent).
+
+        Listeners fire after both ledgers are charged, in attachment
+        order.  Adding an already-subscribed listener is a no-op, so
+        double attachment never double-counts.
+        """
+        if listener not in self._compare_listeners:
+            self._compare_listeners.append(listener)
+
+    def remove_compare_listener(self, listener: CompareListener) -> None:
+        """Unsubscribe a compare listener (no-op when absent)."""
+        if listener in self._compare_listeners:
+            self._compare_listeners.remove(listener)
 
     # ------------------------------------------------------------------
     # comparisons
@@ -68,11 +119,21 @@ class CrowdSession:
         With ``charge_latency=False`` only cost is charged; callers that
         orchestrate parallel groups account latency themselves.
         """
+        _, comparisons, microtasks, cache_hits, ties, workload = self._instruments()
         self.cost.begin_comparison()
         record = self.comparator.compare(i, j, self.rng)
+        comparisons.inc()
+        microtasks.inc(record.cost)
+        if record.from_cache:
+            cache_hits.inc()
+        if record.outcome is Outcome.TIE:
+            ties.inc()
+        workload.observe(record.workload)
         self.cost.charge(record.cost)
         if charge_latency:
             self.latency.add(record.rounds)
+        for listener in self._compare_listeners:
+            listener(self, record)
         return record
 
     def compare_group(
@@ -96,6 +157,7 @@ class CrowdSession:
     # ------------------------------------------------------------------
     def charge_cost(self, microtasks: int) -> None:
         """Charge raw microtask cost (racing pools buy in bulk)."""
+        self._instruments()[2].inc(microtasks)
         self.cost.charge(microtasks)
 
     def charge_rounds(self, rounds: int) -> None:
@@ -134,6 +196,9 @@ class CrowdSession:
         clone.comparator = Comparator(clone.oracle, clone.config, clone.cache)
         clone.cost = self.cost
         clone.latency = self.latency
+        clone._telemetry = self._telemetry
+        clone._compare_listeners = []  # traces attach per-session, not per-bill
+        clone._instrument_cache = None
         return clone
 
     def spent(self) -> tuple[int, int]:

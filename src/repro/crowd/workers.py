@@ -16,6 +16,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..telemetry import get_registry
+
 __all__ = ["WorkerNoise", "GaussianNoise", "CarelessWorkerNoise"]
 
 
@@ -72,6 +74,10 @@ class CarelessWorkerNoise(WorkerNoise):
         noise = rng.normal(0.0, self.sigma, size=size) if self.sigma else np.zeros(size)
         if self.careless_rate > 0:
             careless = rng.random(size) < self.careless_rate
+            if careless.any():
+                get_registry().counter("worker_careless_judgments_total").inc(
+                    int(careless.sum())
+                )
             # Careless answers ignore the true gap; encode that as a noise
             # value so large it dominates.  The oracle recognizes the mask
             # via sentinel handling below being unnecessary: uniform noise

@@ -9,6 +9,7 @@ regenerable bit-for-bit.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 
@@ -20,7 +21,10 @@ from ..datasets import load_dataset
 from ..errors import AlgorithmError
 from ..metrics import ndcg_at_k, top_k_precision
 from ..rng import make_rng, spawn_many
+from ..telemetry import get_registry
 from .params import ExperimentParams
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["RunRecord", "MethodStats", "run_method", "run_methods", "run_infimum"]
 
@@ -88,12 +92,32 @@ def _execute_runs(
 
     runs: list[RunRecord] = []
     config = params.comparison_config()
+    telemetry = get_registry()
     for run in range(params.n_runs):
         working = dataset.sample_items(params.n_items, subset_rngs[run])
         session = dataset.session(config, seed=session_rngs[run])
         started = time.perf_counter()
-        outcome = execute(session, working, session_rngs[run])
+        with telemetry.span(
+            "experiment.run",
+            session=session,
+            method=method_name,
+            dataset=params.dataset,
+            run=run,
+        ):
+            outcome = execute(session, working, session_rngs[run])
         elapsed = time.perf_counter() - started
+        telemetry.counter("experiment_runs_total", method=method_name).inc()
+        telemetry.histogram(
+            "experiment_run_wall_seconds", method=method_name
+        ).observe(elapsed)
+        telemetry.histogram(
+            "experiment_run_cost", method=method_name
+        ).observe(outcome.cost)
+        logger.debug(
+            "run %d/%d of %s on %s: %d microtasks, %d rounds, %.3fs",
+            run + 1, params.n_runs, method_name, params.dataset,
+            outcome.cost, outcome.rounds, elapsed,
+        )
         runs.append(
             RunRecord(
                 method=method_name,

@@ -1,0 +1,500 @@
+"""Metric primitives and the registry that owns them.
+
+The paper's whole evaluation is an accounting exercise — total monetary
+cost, latency rounds, per-phase breakdowns (§7, Fig. 12, Table 7) — so the
+reproduction carries a first-class metrics layer:
+
+* :class:`Counter` — monotonically increasing totals (microtasks bought,
+  comparisons run, cache hits).
+* :class:`Gauge` — point-in-time values (active racing pairs).
+* :class:`Histogram` — streaming distributions with p50/p95/p99 quantile
+  estimates (comparison workloads, per-run wall time).
+* :class:`Span` — a timed region with crowd-cost attribution: entering a
+  span snapshots the session's ledgers, exiting records the deltas, and
+  nesting is tracked so *exclusive* (self-only) cost is always available.
+
+A :class:`MetricsRegistry` owns one family of each, keyed by metric name
+plus a frozen label set, and renders them as a JSON snapshot, a
+Prometheus-style text exposition, or an aligned summary table.  Metric
+updates are plain attribute arithmetic guarded only by the GIL — the
+simulator is single-threaded per query; cross-thread aggregation should
+use one registry per thread.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..crowd.session import CrowdSession
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "MetricsRegistry",
+]
+
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def _freeze_labels(labels: dict[str, object]) -> LabelSet:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_suffix(labels: LabelSet) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in labels)
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    name: str
+    labels: LabelSet = ()
+    value: float = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    name: str
+    labels: LabelSet = ()
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """A streaming distribution with quantile estimates.
+
+    Observations are kept exactly up to ``reservoir`` samples; beyond that
+    a uniform reservoir sample stands in, so quantiles stay O(1) memory on
+    unbounded streams.  Quantiles use the same linear interpolation as
+    ``numpy.quantile`` and are exact below the reservoir size.
+    """
+
+    #: Default maximum number of retained observations.
+    RESERVOIR = 4096
+
+    def __init__(
+        self, name: str, labels: LabelSet = (), reservoir: int | None = None
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._cap = reservoir if reservoir is not None else self.RESERVOIR
+        self._values: list[float] = []
+        # Deterministic reservoir choices keep snapshots reproducible.
+        self._rng = random.Random(0x5EED ^ hash(name) & 0xFFFF)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._values) < self._cap:
+            self._values.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._cap:
+                self._values[slot] = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (exact below the reservoir size)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._values:
+            return math.nan
+        ordered = sorted(self._values)
+        position = q * (len(ordered) - 1)
+        lower = math.floor(position)
+        upper = math.ceil(position)
+        if lower == upper:
+            return ordered[lower]
+        fraction = position - lower
+        return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+    def percentiles(self) -> dict[str, float]:
+        """The standard p50/p95/p99 summary."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+@dataclass
+class Span:
+    """One timed region, optionally attributed with crowd spending.
+
+    When opened with a session, ``cost``/``rounds`` hold the ledger deltas
+    the region produced *including* nested spans; the ``child_*`` fields
+    accumulate what nested spans claimed, so ``exclusive_cost`` /
+    ``exclusive_rounds`` never double-count a microtask across a span tree.
+    """
+
+    name: str
+    parent: str | None = None
+    depth: int = 0
+    seconds: float = 0.0
+    cost: int | None = None
+    rounds: int | None = None
+    child_seconds: float = 0.0
+    child_cost: int = 0
+    child_rounds: int = 0
+    attrs: dict[str, object] = field(default_factory=dict)
+    _started: float = 0.0
+    _cost0: int = 0
+    _rounds0: int = 0
+
+    @property
+    def exclusive_cost(self) -> int | None:
+        """Microtasks spent in this span but not in any nested span."""
+        if self.cost is None:
+            return None
+        return self.cost - self.child_cost
+
+    @property
+    def exclusive_rounds(self) -> int | None:
+        """Latency rounds charged in this span but not in any nested span."""
+        if self.rounds is None:
+            return None
+        return self.rounds - self.child_rounds
+
+    @property
+    def exclusive_seconds(self) -> float:
+        return self.seconds - self.child_seconds
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (used by sinks and snapshots)."""
+        payload: dict[str, object] = {
+            "name": self.name,
+            "parent": self.parent,
+            "depth": self.depth,
+            "seconds": self.seconds,
+        }
+        if self.cost is not None:
+            payload["cost"] = self.cost
+            payload["exclusive_cost"] = self.exclusive_cost
+        if self.rounds is not None:
+            payload["rounds"] = self.rounds
+            payload["exclusive_rounds"] = self.exclusive_rounds
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        return payload
+
+
+class MetricsRegistry:
+    """Owns all metric families and completed spans of one scope.
+
+    One registry is typically installed process-wide (see
+    :func:`repro.telemetry.get_registry`) and replaced with a fresh one per
+    query / benchmark via :func:`repro.telemetry.use_registry` when an
+    isolated snapshot is wanted.
+    """
+
+    #: Completed spans kept before the oldest are dropped (a recursion
+    #: backstop; drops are themselves counted).
+    MAX_SPANS = 50_000
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, LabelSet], Counter] = {}
+        self._gauges: dict[tuple[str, LabelSet], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelSet], Histogram] = {}
+        self.spans: list[Span] = []
+        self.dropped_spans = 0
+        self._span_stack: list[Span] = []
+        self._listeners: list[Callable[[dict[str, object]], None]] = []
+
+    # ------------------------------------------------------------------
+    # metric families
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The counter ``name`` with ``labels`` (created on first use)."""
+        key = (name, _freeze_labels(labels))
+        found = self._counters.get(key)
+        if found is None:
+            found = self._counters[key] = Counter(name, key[1])
+        return found
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """The gauge ``name`` with ``labels`` (created on first use)."""
+        key = (name, _freeze_labels(labels))
+        found = self._gauges.get(key)
+        if found is None:
+            found = self._gauges[key] = Gauge(name, key[1])
+        return found
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        """The histogram ``name`` with ``labels`` (created on first use)."""
+        key = (name, _freeze_labels(labels))
+        found = self._histograms.get(key)
+        if found is None:
+            found = self._histograms[key] = Histogram(name, key[1])
+        return found
+
+    def counter_value(self, name: str, **labels: object) -> float:
+        """Current value of a counter (0 when it was never touched)."""
+        found = self._counters.get((name, _freeze_labels(labels)))
+        return found.value if found is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # spans and timers
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(
+        self, name: str, session: "CrowdSession | None" = None, **attrs: object
+    ) -> Iterator[Span]:
+        """Time a region; with a session, attribute its ledger deltas.
+
+        Spans nest: a span opened while another is active records that
+        parent, and on exit reports its inclusive totals upward so parents
+        can expose exclusive (self-only) figures.
+        """
+        parent = self._span_stack[-1] if self._span_stack else None
+        span = Span(
+            name=name,
+            parent=parent.name if parent is not None else None,
+            depth=len(self._span_stack),
+            attrs=dict(attrs),
+        )
+        if session is not None:
+            span._cost0, span._rounds0 = session.spent()
+            span.cost = 0
+            span.rounds = 0
+        span._started = time.perf_counter()
+        self._span_stack.append(span)
+        try:
+            yield span
+        finally:
+            self._span_stack.pop()
+            span.seconds = time.perf_counter() - span._started
+            if session is not None:
+                cost, rounds = session.spent()
+                span.cost = cost - span._cost0
+                span.rounds = rounds - span._rounds0
+            if parent is not None:
+                parent.child_seconds += span.seconds
+                parent.child_cost += span.cost or 0
+                parent.child_rounds += span.rounds or 0
+            self._finish_span(span)
+
+    def _finish_span(self, span: Span) -> None:
+        if len(self.spans) >= self.MAX_SPANS:
+            self.dropped_spans += 1
+        else:
+            self.spans.append(span)
+        self.histogram("span_seconds", span=span.name).observe(span.seconds)
+        if span.cost is not None:
+            self.histogram("span_cost", span=span.name).observe(span.cost)
+        event = {"type": "span", **span.to_dict()}
+        for listener in list(self._listeners):
+            listener(event)
+
+    @contextmanager
+    def timer(self, name: str, **labels: object) -> Iterator[None]:
+        """Observe the wall time of a region into histogram ``name``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.histogram(name, **labels).observe(time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # listeners (streaming sinks subscribe here)
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: Callable[[dict[str, object]], None]) -> None:
+        """Subscribe to telemetry events (span completions)."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[dict[str, object]], None]) -> None:
+        """Unsubscribe a previously added listener (no-op when absent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    # ------------------------------------------------------------------
+    # exports
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        """A JSON-ready snapshot of every metric and completed span."""
+        return {
+            "counters": [
+                {"name": c.name, "labels": dict(c.labels), "value": c.value}
+                for _, c in sorted(self._counters.items())
+            ],
+            "gauges": [
+                {"name": g.name, "labels": dict(g.labels), "value": g.value}
+                for _, g in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                {
+                    "name": h.name,
+                    "labels": dict(h.labels),
+                    "count": h.count,
+                    "sum": h.sum,
+                    "min": h.min if h.count else None,
+                    "max": h.max if h.count else None,
+                    **h.percentiles(),
+                }
+                for _, h in sorted(self._histograms.items())
+            ],
+            "spans": [s.to_dict() for s in self.spans],
+            "dropped_spans": self.dropped_spans,
+        }
+
+    def expose_text(self) -> str:
+        """Prometheus-style text exposition of all metrics.
+
+        Counters and gauges render as their native types; histograms render
+        as summaries (quantile-labelled samples plus ``_sum``/``_count``).
+        """
+        lines: list[str] = []
+        seen_types: set[str] = set()
+
+        def header(name: str, kind: str) -> None:
+            if name not in seen_types:
+                seen_types.add(name)
+                lines.append(f"# TYPE {name} {kind}")
+
+        for _, counter in sorted(self._counters.items()):
+            header(counter.name, "counter")
+            lines.append(
+                f"{counter.name}{_label_suffix(counter.labels)} {_num(counter.value)}"
+            )
+        for _, gauge in sorted(self._gauges.items()):
+            header(gauge.name, "gauge")
+            lines.append(
+                f"{gauge.name}{_label_suffix(gauge.labels)} {_num(gauge.value)}"
+            )
+        for _, hist in sorted(self._histograms.items()):
+            header(hist.name, "summary")
+            for q, value in (
+                ("0.5", hist.quantile(0.5)),
+                ("0.95", hist.quantile(0.95)),
+                ("0.99", hist.quantile(0.99)),
+            ):
+                labels = _freeze_labels(
+                    {**dict(hist.labels), "quantile": q}
+                )
+                lines.append(f"{hist.name}{_label_suffix(labels)} {_num(value)}")
+            suffix = _label_suffix(hist.labels)
+            lines.append(f"{hist.name}_sum{suffix} {_num(hist.sum)}")
+            lines.append(f"{hist.name}_count{suffix} {_num(hist.count)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def summary_table(self) -> str:
+        """An aligned human-readable digest (printed by the CLI)."""
+        lines: list[str] = ["telemetry summary", "-----------------"]
+        if self._counters:
+            lines.append("counters:")
+            for _, counter in sorted(self._counters.items()):
+                label = counter.name + _label_suffix(counter.labels)
+                lines.append(f"  {label:44s} {_short(counter.value):>12s}")
+        if self._gauges:
+            lines.append("gauges:")
+            for _, gauge in sorted(self._gauges.items()):
+                label = gauge.name + _label_suffix(gauge.labels)
+                lines.append(f"  {label:44s} {_short(gauge.value):>12s}")
+        if self._histograms:
+            lines.append(
+                f"  {'histogram':42s} {'count':>8s} {'mean':>10s}"
+                f" {'p50':>10s} {'p95':>10s} {'p99':>10s}"
+            )
+            for _, hist in sorted(self._histograms.items()):
+                pct = hist.percentiles()
+                label = hist.name + _label_suffix(hist.labels)
+                lines.append(
+                    f"  {label:42s} {hist.count:8d} {_short(hist.mean):>10s}"
+                    f" {_short(pct['p50']):>10s} {_short(pct['p95']):>10s}"
+                    f" {_short(pct['p99']):>10s}"
+                )
+        if self.spans:
+            totals: dict[str, list[float]] = {}
+            for span in self.spans:
+                bucket = totals.setdefault(span.name, [0, 0.0, 0, 0])
+                bucket[0] += 1
+                bucket[1] += span.exclusive_seconds
+                bucket[2] += span.exclusive_cost or 0
+                bucket[3] += span.exclusive_rounds or 0
+            lines.append(
+                f"  {'span (exclusive totals)':42s} {'count':>8s}"
+                f" {'seconds':>10s} {'cost':>10s} {'rounds':>10s}"
+            )
+            for name, (count, secs, cost, rounds) in sorted(totals.items()):
+                lines.append(
+                    f"  {name:42s} {count:8d} {secs:>10.3f}"
+                    f" {int(cost):>10d} {int(rounds):>10d}"
+                )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop every metric, span, and listener."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self.spans.clear()
+        self.dropped_spans = 0
+        self._span_stack.clear()
+        self._listeners.clear()
+
+
+def _short(value: float) -> str:
+    """Compact rendering for the human summary table."""
+    if value != value:
+        return "-"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return f"{int(value):,d}"
+    return f"{value:.4g}"
+
+
+def _num(value: float) -> str:
+    """Render a metric value the way Prometheus expects."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))

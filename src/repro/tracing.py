@@ -6,10 +6,14 @@ session and records every comparison the session runs — pair, verdict,
 workload, incremental cost, round count — plus user-defined phase marks.
 Traces render as text timelines and export to JSON for external tooling.
 
-Tracing wraps the session's ``compare`` method (sessions are plain objects
-— no global hooks), so racing pools that buy microtasks in bulk appear as
-their ledger deltas inside the surrounding phase rather than as individual
-events; `phase totals` therefore always reconcile with the ledgers.
+Tracing subscribes to the session's compare-listener hook (the same
+observation channel the telemetry layer exposes — sessions are plain
+objects, no global state is patched), so racing pools that buy microtasks
+in bulk appear as their ledger deltas inside the surrounding phase rather
+than as individual events; `phase totals` therefore always reconcile with
+the ledgers.  Attachment is reversible: traces are context managers, and
+:meth:`QueryTrace.detach` unsubscribes explicitly.  Attaching the same
+trace twice is a no-op, so events are never double-counted.
 """
 
 from __future__ import annotations
@@ -60,12 +64,63 @@ class PhaseSummary:
 
 @dataclass
 class QueryTrace:
-    """Recorded history of one traced session."""
+    """Recorded history of one traced session.
+
+    Usually created attached via :func:`trace_session`.  Detach with
+    :meth:`detach`, or use the trace as a context manager — leaving the
+    ``with`` block closes the open phase and unsubscribes from the
+    session::
+
+        with trace_session(session) as trace:
+            spr_topk(session, ids, k)
+        print(trace.to_text())
+    """
 
     events: list[ComparisonEvent] = field(default_factory=list)
     _phase: str = "query"
     _phase_starts: dict[str, tuple[int, int, int]] = field(default_factory=dict)
     _phase_totals: dict[str, tuple[int, int, int]] = field(default_factory=dict)
+    _session: "CrowdSession | None" = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # attachment lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, session: "CrowdSession") -> "QueryTrace":
+        """Subscribe to ``session``; re-attaching is a no-op.
+
+        A trace observes exactly one session at a time; attach to a
+        different session only after :meth:`detach`.
+        """
+        if self._session is not None:
+            if self._session is session:
+                return self  # already attached: never double-subscribe
+            raise ValueError(
+                "trace is already attached to another session; detach() first"
+            )
+        self._session = session
+        if self._phase not in self._phase_starts:
+            cost, rounds = session.spent()
+            self._phase_starts[self._phase] = (cost, rounds, len(self.events))
+        session.add_compare_listener(self.record)
+        return self
+
+    def detach(self) -> None:
+        """Unsubscribe from the session (idempotent).
+
+        Recorded events, marks and totals survive; only the live feed
+        stops.
+        """
+        if self._session is not None:
+            self._session.remove_compare_listener(self.record)
+            self._session = None
+
+    def __enter__(self) -> "QueryTrace":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._session is not None:
+            self.finish(self._session)
+        self.detach()
 
     # ------------------------------------------------------------------
     def mark_phase(self, session: "CrowdSession", name: str) -> None:
@@ -144,20 +199,11 @@ class QueryTrace:
 
 
 def trace_session(session: "CrowdSession") -> QueryTrace:
-    """Attach a :class:`QueryTrace` to ``session`` (wraps its compare).
+    """Attach a :class:`QueryTrace` to ``session`` (compare-listener based).
 
     All comparisons from this point on are recorded; bulk racing-pool
-    spending shows up in the surrounding phase's ledger totals.
+    spending shows up in the surrounding phase's ledger totals.  The
+    returned trace is a context manager; it can also be torn down
+    explicitly with :meth:`QueryTrace.detach`.
     """
-    trace = QueryTrace()
-    cost, rounds = session.spent()
-    trace._phase_starts["query"] = (cost, rounds, 0)
-    original = session.compare
-
-    def traced_compare(i: int, j: int, *, charge_latency: bool = True):
-        record = original(i, j, charge_latency=charge_latency)
-        trace.record(session, record)
-        return record
-
-    session.compare = traced_compare  # type: ignore[method-assign]
-    return trace
+    return QueryTrace().attach(session)

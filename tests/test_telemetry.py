@@ -1,0 +1,278 @@
+"""Telemetry primitives: registry arithmetic, quantiles, spans, sinks."""
+
+import json
+import math
+import re
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    JsonlSink,
+    MetricsRegistry,
+    get_registry,
+    read_jsonl,
+    set_registry,
+    use_registry,
+)
+from repro.telemetry.registry import Histogram
+from tests.conftest import make_latent_session
+
+
+class TestCounters:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert registry.counter_value("requests_total") == 42
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_labels_partition_the_family(self):
+        registry = MetricsRegistry()
+        registry.counter("runs_total", method="spr").inc(3)
+        registry.counter("runs_total", method="pbr").inc(5)
+        assert registry.counter_value("runs_total", method="spr") == 3
+        assert registry.counter_value("runs_total", method="pbr") == 5
+        assert registry.counter_value("runs_total") == 0
+
+    def test_same_name_and_labels_is_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c", a=1) is registry.counter("c", a=1)
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("active_pairs")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+
+class TestHistogram:
+    def test_quantiles_match_numpy_exactly_below_reservoir(self):
+        rng = np.random.default_rng(7)
+        values = rng.normal(50, 12, size=1000)
+        hist = Histogram("h")
+        for value in values:
+            hist.observe(value)
+        for q in (0.0, 0.25, 0.5, 0.95, 0.99, 1.0):
+            assert hist.quantile(q) == pytest.approx(
+                float(np.quantile(values, q)), rel=1e-12
+            )
+
+    def test_count_sum_min_max_mean(self):
+        hist = Histogram("h")
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == 6.0
+        assert hist.min == 1.0
+        assert hist.max == 3.0
+        assert hist.mean == 2.0
+
+    def test_reservoir_keeps_quantiles_close_on_long_streams(self):
+        rng = np.random.default_rng(11)
+        hist = Histogram("h", reservoir=256)
+        values = rng.uniform(0, 1, size=20_000)
+        for value in values:
+            hist.observe(value)
+        assert hist.count == 20_000
+        assert hist.quantile(0.5) == pytest.approx(0.5, abs=0.08)
+        assert hist.quantile(0.95) == pytest.approx(0.95, abs=0.08)
+
+    def test_empty_histogram_is_nan(self):
+        assert math.isnan(Histogram("h").quantile(0.5))
+
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+
+class TestSpans:
+    def test_nested_spans_record_parent_and_depth(self):
+        registry = MetricsRegistry()
+        with registry.span("outer"):
+            with registry.span("inner"):
+                pass
+        names = [(s.name, s.parent, s.depth) for s in registry.spans]
+        assert names == [("inner", "outer", 1), ("outer", None, 0)]
+
+    def test_session_spans_attribute_cost_exclusively(self):
+        session = make_latent_session([0.0, 3.0, 6.0])
+        with use_registry() as registry:
+            with registry.span("outer", session=session) as outer:
+                session.charge_cost(5)
+                with registry.span("inner", session=session) as inner:
+                    session.charge_cost(7)
+                session.charge_cost(2)
+        assert inner.cost == 7
+        assert outer.cost == 14
+        assert outer.child_cost == 7
+        assert outer.exclusive_cost == 7
+        assert outer.exclusive_cost + inner.exclusive_cost == session.total_cost
+
+    def test_span_survives_exceptions(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.span("doomed"):
+                raise RuntimeError("boom")
+        assert [s.name for s in registry.spans] == ["doomed"]
+
+    def test_span_seconds_histogram_fed(self):
+        registry = MetricsRegistry()
+        with registry.span("phase"):
+            pass
+        hist = registry.histogram("span_seconds", span="phase")
+        assert hist.count == 1
+
+    def test_timer_observes_wall_time(self):
+        registry = MetricsRegistry()
+        with registry.timer("work_seconds", kind="test"):
+            pass
+        assert registry.histogram("work_seconds", kind="test").count == 1
+
+    def test_span_cap_counts_drops(self):
+        registry = MetricsRegistry()
+        registry.MAX_SPANS = 2
+        for _ in range(4):
+            with registry.span("s"):
+                pass
+        assert len(registry.spans) == 2
+        assert registry.dropped_spans == 2
+
+
+PROMETHEUS_LINE = re.compile(
+    r"^(?:# (?:HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* \w+"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^}]*\})? (?:NaN|[+-]Inf|[-+0-9.eE]+))$"
+)
+
+
+class TestExposition:
+    def test_expose_text_parses_as_prometheus(self):
+        registry = MetricsRegistry()
+        registry.counter("crowd_microtasks_total").inc(1234)
+        registry.counter("runs_total", method="spr", dataset="jester").inc(2)
+        registry.gauge("active_pairs").set(7.5)
+        for value in range(100):
+            registry.histogram("workload", phase="rank").observe(value)
+        text = registry.expose_text()
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            assert PROMETHEUS_LINE.match(line), line
+
+    def test_expose_text_values_and_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", method="spr").inc(3)
+        text = registry.expose_text()
+        assert "# TYPE c_total counter" in text
+        assert 'c_total{method="spr"} 3' in text
+
+    def test_histograms_render_as_summaries(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(1.0)
+        text = registry.expose_text()
+        assert "# TYPE h summary" in text
+        assert 'h{quantile="0.5"} 1' in text
+        assert "h_sum 1" in text
+        assert "h_count 1" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", path='a"b\\c').inc()
+        assert 'c_total{path="a\\"b\\\\c"} 1' in registry.expose_text()
+
+    def test_summary_table_mentions_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("crowd_microtasks_total").inc(9)
+        registry.histogram("workload").observe(4)
+        with registry.span("spr.rank"):
+            pass
+        table = registry.summary_table()
+        assert "crowd_microtasks_total" in table
+        assert "workload" in table
+        assert "spr.rank" in table
+
+
+class TestSnapshotAndJsonl:
+    def test_snapshot_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", method="spr").inc(4)
+        registry.gauge("g").set(2)
+        registry.histogram("h").observe(1.5)
+        with registry.span("phase"):
+            pass
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        counters = {c["name"]: c for c in snapshot["counters"]}
+        assert counters["c_total"]["value"] == 4
+        assert counters["c_total"]["labels"] == {"method": "spr"}
+        assert snapshot["histograms"][0]["count"] == 1
+        assert snapshot["spans"][0]["name"] == "phase"
+
+    def test_jsonl_sink_streams_spans_and_snapshot(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        registry = MetricsRegistry()
+        with JsonlSink(path) as sink:
+            registry.add_listener(sink.write_event)
+            registry.counter("c_total").inc(2)
+            with registry.span("phase.a"):
+                pass
+            sink.write_snapshot(registry)
+        events = read_jsonl(path)
+        kinds = [event["type"] for event in events]
+        assert kinds[0] == "span"
+        assert kinds[-1] == "snapshot"
+        span = events[0]
+        assert span["name"] == "phase.a"
+        snapshot = events[-1]
+        assert snapshot["counters"][0]["value"] == 2
+        assert {e["name"] for e in events if e["type"] == "counter"} == {"c_total"}
+
+    def test_sink_is_lazy(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        JsonlSink(path).close()
+        assert not path.exists()
+
+
+class TestRegistryInjection:
+    def test_use_registry_scopes_and_restores(self):
+        before = get_registry()
+        with use_registry() as scoped:
+            assert get_registry() is scoped
+            assert scoped is not before
+        assert get_registry() is before
+
+    def test_set_registry_returns_previous(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+
+    def test_session_override_beats_global(self):
+        from repro.crowd.oracle import LatentScoreOracle
+        from repro.crowd.session import CrowdSession
+
+        private = MetricsRegistry()
+        session = CrowdSession(
+            LatentScoreOracle(np.array([0.0, 4.0])), seed=0, telemetry=private
+        )
+        with use_registry() as scoped:
+            session.compare(1, 0)
+        assert private.counter_value("crowd_comparisons_total") == 1
+        assert scoped.counter_value("crowd_comparisons_total") == 0
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        with registry.span("s"):
+            pass
+        registry.reset()
+        assert registry.snapshot()["counters"] == []
+        assert registry.spans == []
