@@ -12,6 +12,14 @@ quantiles, and phase spans — so runs are comparable machine-to-machine
 Run with::
 
     pytest benchmarks/ --benchmark-only
+    pytest benchmarks/ --benchmark-only --jobs 4   # process-pool runs
+
+``--jobs N`` routes every benchmark's repeated runs through the parallel
+experiment engine (``repro.experiments.parallel``); results are
+bit-for-bit identical to serial runs.  The engine merges each worker's
+registry into the benchmark's scoped registry *synchronously, in run
+order, before the entry point returns* — so the snapshot ``emit`` writes
+still contains all worker-side metrics (docs/performance.md).
 
 Run counts are deliberately below the paper's 100-run averages to keep the
 whole suite laptop-scale; every entry point takes ``n_runs`` for full
@@ -25,21 +33,43 @@ import pathlib
 
 import pytest
 
+from repro.experiments.parallel import use_jobs
 from repro.telemetry import MetricsRegistry, use_registry
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for experiment runs (0 = one per CPU, "
+        "default 1 = serial); results are bit-for-bit identical",
+    )
+
+
 @pytest.fixture(autouse=True)
-def telemetry_registry():
-    """A fresh process-wide registry scoped to each benchmark."""
-    with use_registry(MetricsRegistry()) as registry:
+def telemetry_registry(request):
+    """A fresh process-wide registry scoped to each benchmark.
+
+    Also installs the session's ``--jobs`` as the ambient job count, so
+    every ``run_method``/``run_methods``/sweep call inside the benchmark
+    fans out through the process pool without per-benchmark plumbing.
+    """
+    jobs = request.config.getoption("--jobs")
+    with use_registry(MetricsRegistry()) as registry, use_jobs(jobs):
         yield registry
 
 
 @pytest.fixture
 def emit(telemetry_registry):
-    """Print report(s), persist them, and snapshot the run's telemetry."""
+    """Print report(s), persist them, and snapshot the run's telemetry.
+
+    Worker-side metrics are already merged into ``telemetry_registry`` by
+    the time any entry point returns (the engine merges before returning),
+    so the snapshot below is complete under ``--jobs N`` too.
+    """
 
     def _emit(name: str, *reports) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)

@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Performance benchmark: serial vs process-pool experiment runs.
+
+Times one fixed workload — ``run_methods`` over several confidence-aware
+methods on a mid-size cell — executed serially and through the parallel
+experiment engine, verifies the two produce **identical** deterministic
+results (per-run cost/rounds/NDCG/precision and every ``MethodStats``
+aggregate), and writes the measurements to ``BENCH_parallel_runner.json``
+so the perf trajectory of the engine is recorded run over run.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_perf.py             # full workload
+    PYTHONPATH=src python scripts/bench_perf.py --quick     # CI-size
+    PYTHONPATH=src python scripts/bench_perf.py --jobs 4 --output out.json
+
+Speedup scales with available cores (the work units are independent
+processes); on a single-core machine the parallel path measures pool
+overhead only.  The JSON records ``cpu_count`` so readings are
+interpretable across machines — see docs/performance.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import ExperimentParams, run_methods  # noqa: E402
+from repro.telemetry import MetricsRegistry, use_registry  # noqa: E402
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_parallel_runner.json"
+
+#: The fixed workload: every method is confidence-aware and mid-cost, the
+#: cell is big enough that each run does real work (~seconds total).
+METHODS = ("spr", "tournament", "heapsort", "quickselect")
+
+
+def _deterministic_view(stats_by_method):
+    """Everything that must match bit-for-bit between serial and parallel."""
+    view = {}
+    for method, stats in sorted(stats_by_method.items()):
+        view[method] = {
+            "n_runs": stats.n_runs,
+            "mean_cost": stats.mean_cost,
+            "std_cost": stats.std_cost,
+            "mean_rounds": stats.mean_rounds,
+            "std_rounds": stats.std_rounds,
+            "mean_ndcg": stats.mean_ndcg,
+            "std_ndcg": stats.std_ndcg,
+            "mean_precision": stats.mean_precision,
+            "runs": [
+                (r.cost, r.rounds, r.ndcg, r.precision) for r in stats.runs
+            ],
+        }
+    return view
+
+
+def _timed(params, n_jobs):
+    with use_registry(MetricsRegistry()) as registry:
+        started = time.perf_counter()
+        stats = run_methods(list(METHODS), params, n_jobs=n_jobs)
+        elapsed = time.perf_counter() - started
+    microtasks = registry.counter_value("crowd_microtasks_total")
+    return stats, elapsed, microtasks
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for the parallel leg (default 4)")
+    parser.add_argument("--runs", type=int, default=None,
+                        help="override the per-method run count")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-size workload (fewer, smaller runs)")
+    parser.add_argument("--dataset", default="jester")
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    n_runs = args.runs if args.runs is not None else (8 if args.quick else 16)
+    n_items = 20 if args.quick else 30
+    params = ExperimentParams(
+        dataset=args.dataset, n_items=n_items, k=5, n_runs=n_runs, seed=0
+    )
+    workload = (
+        f"run_methods({list(METHODS)}, dataset={args.dataset!r}, "
+        f"N={n_items}, k=5, n_runs={n_runs}, seed=0)"
+    )
+    print(f"workload: {workload}")
+
+    print("serial leg (n_jobs=1) ...", flush=True)
+    serial_stats, serial_s, serial_microtasks = _timed(params, n_jobs=1)
+    print(f"  {serial_s:.2f}s, {serial_microtasks:,.0f} microtasks")
+
+    print(f"parallel leg (n_jobs={args.jobs}) ...", flush=True)
+    parallel_stats, parallel_s, parallel_microtasks = _timed(params, args.jobs)
+    print(f"  {parallel_s:.2f}s, {parallel_microtasks:,.0f} microtasks")
+
+    serial_view = _deterministic_view(serial_stats)
+    parallel_view = _deterministic_view(parallel_stats)
+    identical = json.dumps(serial_view, sort_keys=True) == json.dumps(
+        parallel_view, sort_keys=True
+    ) and serial_microtasks == parallel_microtasks
+
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    payload = {
+        "benchmark": "parallel_runner",
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "workload": workload,
+        "quick": args.quick,
+        "jobs": args.jobs,
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "speedup": round(speedup, 3),
+        "aggregates_identical": identical,
+        "total_microtasks": serial_microtasks,
+        "aggregates": serial_view,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"speedup: {speedup:.2f}x on {os.cpu_count()} CPUs "
+        f"(identical aggregates: {identical}) -> {args.output}"
+    )
+    if not identical:
+        print("error: parallel results diverge from serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

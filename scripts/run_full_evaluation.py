@@ -10,6 +10,11 @@ Usage::
 
     python scripts/run_full_evaluation.py --runs 10 --out results_full
     python scripts/run_full_evaluation.py --runs 100 --only table7 fig8
+    python scripts/run_full_evaluation.py --runs 100 --jobs 0   # all CPUs
+
+``--jobs N`` fans each experiment's independent runs out over N worker
+processes (0 = one per CPU) via the parallel experiment engine; results
+are bit-for-bit identical to serial runs (docs/performance.md).
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ import time
 
 from repro.experiments import (
     ExperimentParams,
+    use_jobs,
     run_accuracy,
     run_appendix_d,
     run_non_confidence,
@@ -84,6 +90,11 @@ def main(argv=None) -> int:
         default=None,
         help="subset of experiments (default: all)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per experiment (0 = one per CPU, "
+        "default 1 = serial); results are bit-for-bit identical",
+    )
     args = parser.parse_args(argv)
 
     names = args.only if args.only else sorted(EXPERIMENTS)
@@ -91,8 +102,9 @@ def main(argv=None) -> int:
     started = time.time()
     for name in names:
         print(f"[{time.time() - started:7.0f}s] running {name} "
-              f"(runs={args.runs}) …", flush=True)
-        reports = EXPERIMENTS[name](args.runs, args.seed)
+              f"(runs={args.runs}, jobs={args.jobs}) …", flush=True)
+        with use_jobs(args.jobs):
+            reports = EXPERIMENTS[name](args.runs, args.seed)
         text = "\n\n".join(report.to_text() for report in reports)
         (args.out / f"{name}.txt").write_text(text + "\n")
         for position, report in enumerate(reports):

@@ -15,6 +15,11 @@ Examples::
     crowd-topk query --method spr --telemetry /tmp/query.jsonl
     crowd-topk -v experiment table7 --runs 3
     crowd-topk experiment fig8 --dataset book --runs 2
+    crowd-topk experiment fig9 --runs 10 --jobs 4
+
+``--jobs N`` fans the independent runs of an experiment out over N worker
+processes (0 = one per CPU); results are bit-for-bit identical to the
+serial run (see docs/performance.md).
 
 ``--telemetry PATH`` streams phase spans to a JSONL file, appends the full
 metrics snapshot, and prints a summary table; ``-v`` / ``-vv`` raise the
@@ -33,6 +38,7 @@ from .algorithms import ALGORITHMS
 from .datasets import DATASET_NAMES, load_dataset
 from .experiments import (
     ExperimentParams,
+    use_jobs,
     run_accuracy,
     run_appendix_d,
     run_non_confidence,
@@ -123,6 +129,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--dataset", default=None, help="dataset override")
     experiment.add_argument("--runs", type=int, default=3, help="runs to average")
     experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan runs out over N worker processes (0 = one per CPU, "
+        "default 1 = serial); results are bit-for-bit identical",
+    )
     return parser
 
 
@@ -266,9 +277,13 @@ _EXPERIMENTS = {
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    for report in _EXPERIMENTS[args.name](args):
-        print(report.to_text())
-        print()
+    # Install the requested parallelism ambiently: every harness entry
+    # point resolves n_jobs=None against it, so --jobs reaches all of
+    # them without threading a flag through each signature.
+    with use_jobs(args.jobs):
+        for report in _EXPERIMENTS[args.name](args):
+            print(report.to_text())
+            print()
     return 0
 
 

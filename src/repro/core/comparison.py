@@ -102,10 +102,20 @@ class Comparator:
         self.oracle = oracle
         self.config = config if config is not None else ComparisonConfig()
         self.cache = cache if cache is not None else JudgmentCache()
+        self._instrument_cache: tuple | None = None
         if self.config.estimator == "hoeffding" and oracle.value_range is None:
             raise ValueError(
                 "the hoeffding estimator requires an oracle with bounded support"
             )
+
+    def _judgments_counter(self):
+        """The hot-path counter handle, re-bound when the registry changes."""
+        registry = get_registry()
+        cached = self._instrument_cache
+        if cached is None or cached[0] is not registry:
+            cached = (registry, registry.counter("oracle_judgments_total"))
+            self._instrument_cache = cached
+        return cached[1]
 
     def compare(
         self, i: int, j: int, rng: np.random.Generator
@@ -131,7 +141,7 @@ class Comparator:
 
         cost = 0
         rounds = 0
-        judgments_drawn = get_registry().counter("oracle_judgments_total")
+        judgments_drawn = self._judgments_counter()
         while decision is None and tester.n < budget:
             chunk = min(config.batch_size, budget - tester.n)
             values = self.oracle.draw(i, j, chunk, rng)

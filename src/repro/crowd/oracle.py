@@ -209,10 +209,21 @@ class HistogramOracle(JudgmentOracle):
     def _sample_ratings(
         self, rows: np.ndarray, size: int, rng: np.random.Generator
     ) -> np.ndarray:
-        """Inverse-CDF sample: a ``(len(rows), size)`` matrix of ratings."""
+        """Inverse-CDF sample: a ``(len(rows), size)`` matrix of ratings.
+
+        For each row r the sampled index is #{support points with cdf < u},
+        found by binary search.  Each row's CDF lives in [0, 1] and uniforms
+        in [0, 1), so shifting row r by 2r packs all rows into one globally
+        sorted array and a single ``searchsorted`` resolves every draw —
+        O(pairs × size × log grid) instead of the former full
+        (pairs × size × grid) broadcast compare.
+        """
         u = rng.random((len(rows), size))
-        # For each row r: index = #{support points with cdf < u}.
-        idx = (u[:, :, None] > self._cdf[rows][:, None, :]).sum(axis=2)
+        n_rows, n_support = len(rows), len(self._support)
+        shift = 2.0 * np.arange(n_rows)[:, None]
+        flat_cdf = (self._cdf[rows] + shift).ravel()
+        idx = np.searchsorted(flat_cdf, (u + shift).ravel(), side="left")
+        idx = idx.reshape(n_rows, size) - np.arange(n_rows)[:, None] * n_support
         return self._support[idx]
 
     def draw(self, i: int, j: int, size: int, rng: np.random.Generator) -> np.ndarray:
@@ -398,6 +409,16 @@ class BinaryOracle(JudgmentOracle):
         #: platform pays for those answers too; cost models that account
         #: for the waste (Table 3) read this counter.
         self.wasted = 0
+        self._instrument_cache: tuple | None = None
+
+    def _wasted_counter(self):
+        """The hot-path counter handle, re-bound when the registry changes."""
+        registry = get_registry()
+        cached = self._instrument_cache
+        if cached is None or cached[0] is not registry:
+            cached = (registry, registry.counter("oracle_wasted_judgments_total"))
+            self._instrument_cache = cached
+        return cached[1]
 
     def draw(self, i: int, j: int, size: int, rng: np.random.Generator) -> np.ndarray:
         out = np.sign(self._base.draw(i, j, size, rng))
@@ -406,9 +427,7 @@ class BinaryOracle(JudgmentOracle):
             if zeros.size == 0:
                 return out
             self.wasted += int(zeros.size)
-            get_registry().counter("oracle_wasted_judgments_total").inc(
-                int(zeros.size)
-            )
+            self._wasted_counter().inc(int(zeros.size))
             logger.debug(
                 "binary oracle re-drew %d tied judgments for pair (%d, %d)",
                 int(zeros.size), i, j,
@@ -432,9 +451,7 @@ class BinaryOracle(JudgmentOracle):
             if rows.size == 0:
                 return out
             self.wasted += int(rows.size)
-            get_registry().counter("oracle_wasted_judgments_total").inc(
-                int(rows.size)
-            )
+            self._wasted_counter().inc(int(rows.size))
             redraw = np.sign(
                 self._base.draw_pairs(
                     np.asarray(left)[rows], np.asarray(right)[rows], 1, rng

@@ -19,6 +19,13 @@ from .params import (
     SWEET_SPOTS,
     ExperimentParams,
 )
+from .parallel import (
+    RunSpec,
+    resolve_jobs,
+    run_specs,
+    set_default_jobs,
+    use_jobs,
+)
 from .peopleage import run_peopleage
 from .phase_breakdown import run_phase_breakdown
 from .reporting import Report
@@ -43,7 +50,12 @@ __all__ = [
     "REFERENCE_CHANGES",
     "Report",
     "RunRecord",
+    "RunSpec",
     "SWEET_SPOTS",
+    "resolve_jobs",
+    "run_specs",
+    "set_default_jobs",
+    "use_jobs",
     "run_accuracy",
     "run_appendix_d",
     "run_infimum",

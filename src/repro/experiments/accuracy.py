@@ -24,6 +24,7 @@ def run_accuracy(
     params: ExperimentParams | None = None,
     values: tuple | None = None,
     methods: tuple[str, ...] = ("spr", "tournament", "heapsort", "quickselect"),
+    n_jobs: int | None = None,
 ) -> Report:
     """Run one NDCG panel of Figure 13; returns the accuracy series."""
     fieldname, default_values, fmt = SWEEPS[vary]
@@ -43,7 +44,7 @@ def run_accuracy(
         columns=[fmt(value) for value, _ in cells],
     )
     for method in methods:
-        stats = [run_method(method, cell) for _, cell in cells]
+        stats = [run_method(method, cell, n_jobs=n_jobs) for _, cell in cells]
         report.add_row(method, [s.mean_ndcg for s in stats])
         report.add_row(f"{method} (precision)", [s.mean_precision for s in stats])
     report.add_note(f"averaged over {params.n_runs} runs, seed={params.seed}")

@@ -48,6 +48,7 @@ def run_non_confidence(
     datasets: tuple[str, ...] = ("imdb", "book"),
     n_runs: int = 5,
     seed: int = 0,
+    n_jobs: int | None = None,
 ) -> Report:
     """Regenerate Figure 14 (NDCG, with the budgets used as footnotes)."""
     methods = ["spr", "crowdbt", "hybrid", "hybrid_spr"]
@@ -57,7 +58,7 @@ def run_non_confidence(
     )
     for dataset in datasets:
         params = ExperimentParams(dataset=dataset, n_runs=n_runs, seed=seed)
-        spr_stats = run_method("spr", params)
+        spr_stats = run_method("spr", params, n_jobs=n_jobs)
         budget = int(math.ceil(spr_stats.mean_cost))
         if budget < 1:
             raise AlgorithmError("SPR reported a zero budget; cannot match it")

@@ -19,7 +19,9 @@ PAPER_SIMULATED_TMC = 9_570
 PAPER_SIMULATED_NDCG = 0.905
 
 
-def run_peopleage(n_runs: int = 10, seed: int = 0) -> Report:
+def run_peopleage(
+    n_runs: int = 10, seed: int = 0, n_jobs: int | None = None
+) -> Report:
     """Regenerate the PeopleAge simulation (k=10, 1−α=0.90, B=100)."""
     params = ExperimentParams(
         dataset="peopleage",
@@ -30,7 +32,7 @@ def run_peopleage(n_runs: int = 10, seed: int = 0) -> Report:
         n_runs=n_runs,
         seed=seed,
     )
-    stats = run_method("spr", params)
+    stats = run_method("spr", params, n_jobs=n_jobs)
     report = Report(
         title="Appendix F: PeopleAge interactive experiment (simulation)",
         columns=["TMC", "NDCG", "US$ at 0.1c/task"],

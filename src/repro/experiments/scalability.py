@@ -11,9 +11,10 @@ from __future__ import annotations
 
 from ..datasets import load_dataset
 from ..errors import ConfigError
+from .parallel import RunSpec, resolve_jobs, run_specs
 from .params import BUDGETS, CONFIDENCES, ITEM_COUNTS, K_VALUES, ExperimentParams
 from .reporting import Report
-from .runner import run_infimum, run_method
+from .runner import _validated_kwargs, run_infimum, run_method
 
 __all__ = ["run_scalability", "SCALABILITY_METHODS", "SWEEPS"]
 
@@ -34,8 +35,14 @@ def run_scalability(
     values: tuple | None = None,
     methods: tuple[str, ...] = SCALABILITY_METHODS,
     include_infimum: bool = True,
+    n_jobs: int | None = None,
 ) -> tuple[Report, Report]:
-    """Run one scalability sweep; returns ``(tmc_report, latency_report)``."""
+    """Run one scalability sweep; returns ``(tmc_report, latency_report)``.
+
+    With ``n_jobs != 1`` every (method × cell × run) work unit of the
+    whole sweep goes through one shared process pool; results are
+    bit-for-bit identical to the serial sweep.
+    """
     if vary not in SWEEPS:
         known = ", ".join(SWEEPS)
         raise ConfigError(f"unknown sweep {vary!r}; known: {known}")
@@ -69,14 +76,36 @@ def run_scalability(
         title=f"Latency (rounds) vs {vary} on {params.dataset}",
         columns=columns,
     )
-    for method in methods:
-        stats = [run_method(method, cell) for _, cell in cells]
-        tmc.add_row(method, [s.mean_cost for s in stats])
-        latency.add_row(method, [s.mean_rounds for s in stats])
-    if include_infimum:
-        stats = [run_infimum(cell) for _, cell in cells]
-        tmc.add_row("infimum", [s.mean_cost for s in stats])
-        latency.add_row("infimum", [s.mean_rounds for s in stats])
+    if resolve_jobs(n_jobs) == 1:
+        rows = {
+            method: [run_method(method, cell) for _, cell in cells]
+            for method in methods
+        }
+        if include_infimum:
+            rows["infimum"] = [run_infimum(cell) for _, cell in cells]
+    else:
+        # One shared pool for the whole (method × cell × run) grid, in the
+        # serial loop's order so merged telemetry matches a serial sweep.
+        specs = [
+            RunSpec(
+                kind="algorithm", method=method, params=cell,
+                method_kwargs=_validated_kwargs(method, cell, {}),
+            )
+            for method in methods
+            for _, cell in cells
+        ]
+        if include_infimum:
+            specs.extend(
+                RunSpec(kind="infimum", method="infimum", params=cell)
+                for _, cell in cells
+            )
+        stats = run_specs(specs, n_jobs=n_jobs)
+        series = [stats[i : i + len(cells)] for i in range(0, len(stats), len(cells))]
+        names = list(methods) + (["infimum"] if include_infimum else [])
+        rows = dict(zip(names, series))
+    for name, stats in rows.items():
+        tmc.add_row(name, [s.mean_cost for s in stats])
+        latency.add_row(name, [s.mean_rounds for s in stats])
     for report in (tmc, latency):
         report.add_note(
             f"averaged over {params.n_runs} runs, seed={params.seed}, "

@@ -20,6 +20,7 @@ def run_stein_vs_student(
     n_runs: int = 5,
     seed: int = 0,
     n_items: int | None = None,
+    n_jobs: int | None = None,
 ) -> Report:
     """Regenerate Figure 17 (SPR TMC vs k, Student vs Stein)."""
     report = Report(
@@ -38,7 +39,7 @@ def run_stein_vs_student(
                 seed=seed,
                 n_items=n_items,
             )
-            costs.append(run_method("spr", params).mean_cost)
+            costs.append(run_method("spr", params, n_jobs=n_jobs).mean_cost)
         series[estimator] = costs
         report.add_row(estimator, costs)
     report.add_row(

@@ -19,6 +19,7 @@ def run_summary(
     methods: tuple[str, ...] = ("spr", "tournament", "heapsort", "quickselect"),
     n_runs: int = 5,
     seed: int = 0,
+    n_jobs: int | None = None,
 ) -> tuple[Report, Report]:
     """Regenerate Figure 12; returns ``(tmc_report, latency_report)``."""
     columns = list(methods) + ["infimum"]
@@ -28,8 +29,8 @@ def run_summary(
     )
     for dataset in datasets:
         params = ExperimentParams(dataset=dataset, n_runs=n_runs, seed=seed)
-        stats = [run_method(method, params) for method in methods]
-        stats.append(run_infimum(params))
+        stats = [run_method(method, params, n_jobs=n_jobs) for method in methods]
+        stats.append(run_infimum(params, n_jobs=n_jobs))
         tmc.add_row(dataset, [s.mean_cost for s in stats])
         latency.add_row(dataset, [s.mean_rounds for s in stats])
     for report in (tmc, latency):

@@ -18,6 +18,7 @@ def run_sweet_spot(
     values: tuple[float, ...] = SWEET_SPOTS,
     n_runs: int = 5,
     seed: int = 0,
+    n_jobs: int | None = None,
 ) -> Report:
     """Regenerate Figure 16 (SPR TMC vs sweet-spot range c)."""
     report = Report(
@@ -30,7 +31,7 @@ def run_sweet_spot(
             params = ExperimentParams(
                 dataset=dataset, sweet_spot=c, n_runs=n_runs, seed=seed
             )
-            row.append(run_method("spr", params).mean_cost)
+            row.append(run_method("spr", params, n_jobs=n_jobs).mean_cost)
         report.add_row(dataset, row)
     report.add_note(f"averaged over {n_runs} runs, seed={seed}")
     return report

@@ -19,6 +19,7 @@ __all__ = ["run_table4"]
 def run_table4(
     params: ExperimentParams | None = None,
     changes: tuple[int, ...] = REFERENCE_CHANGES,
+    n_jobs: int | None = None,
 ) -> Report:
     """Regenerate Table 4 (SPR workload vs max reference changes)."""
     params = params if params is not None else ExperimentParams()
@@ -31,7 +32,7 @@ def run_table4(
     realized = []
     for max_changes in changes:
         stats = run_method(
-            "spr", params.with_(max_reference_changes=max_changes)
+            "spr", params.with_(max_reference_changes=max_changes), n_jobs=n_jobs
         )
         workloads.append(stats.mean_cost)
         realized.append(

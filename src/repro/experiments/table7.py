@@ -23,6 +23,7 @@ def run_table7(
     n_runs: int = 5,
     seed: int = 0,
     pbr_datasets: tuple[str, ...] | None = None,
+    n_jobs: int | None = None,
 ) -> Report:
     """Regenerate Table 7 (TMC per method per dataset).
 
@@ -45,7 +46,7 @@ def run_table7(
             ):
                 row.append(float("nan"))
                 continue
-            stats = run_method(method, params)
+            stats = run_method(method, params, n_jobs=n_jobs)
             row.append(stats.mean_cost)
         report.add_row(dataset, row)
     report.add_note(f"averaged over {n_runs} runs, seed={seed}")

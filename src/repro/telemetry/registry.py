@@ -161,6 +161,31 @@ class Histogram:
             "p99": self.quantile(0.99),
         }
 
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Count, sum, min and max combine exactly.  Retained samples are
+        appended while the reservoir has room; beyond the cap the incoming
+        samples go through the same deterministic reservoir replacement as
+        :meth:`observe`, so quantiles stay exact whenever the *combined*
+        stream fits the reservoir and remain estimates past it.
+        """
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.sum += other.sum
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        for value in other._values:
+            if len(self._values) < self._cap:
+                self._values.append(value)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self._cap:
+                    self._values[slot] = value
+
 
 @dataclass
 class Span:
@@ -351,6 +376,45 @@ class MetricsRegistry:
         """Unsubscribe a previously added listener (no-op when absent)."""
         if listener in self._listeners:
             self._listeners.remove(listener)
+
+    # ------------------------------------------------------------------
+    # merging (parallel experiment workers reconcile through this)
+    # ------------------------------------------------------------------
+    def merge(self, *others: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold other registries into this one; returns ``self``.
+
+        The reconciliation rules match what each instrument means:
+
+        * **counters** add — totals from independent workers sum;
+        * **gauges** last-write — the value from the last merged registry
+          (merge in chronological order to mirror a serial execution);
+        * **histograms** combine — exact ``count``/``sum``/``min``/``max``,
+          reservoir samples appended (see :meth:`Histogram.merge_from`);
+        * **spans** concatenate in merge order, still bounded by
+          ``MAX_SPANS`` (overflow counts into ``dropped_spans``).
+
+        Listeners do not transfer: merged spans were already completed in
+        their source registry and are not re-announced.  Merging worker
+        registries spawned by the parallel experiment engine in task order
+        reproduces the serial registry exactly (up to wall-clock timings
+        and histogram reservoirs past the cap).
+        """
+        for other in others:
+            if other is self:
+                raise ValueError("cannot merge a registry into itself")
+            for (name, labels), counter in other._counters.items():
+                self.counter(name, **dict(labels)).inc(counter.value)
+            for (name, labels), gauge in other._gauges.items():
+                self.gauge(name, **dict(labels)).set(gauge.value)
+            for (name, labels), histogram in other._histograms.items():
+                self.histogram(name, **dict(labels)).merge_from(histogram)
+            for span in other.spans:
+                if len(self.spans) >= self.MAX_SPANS:
+                    self.dropped_spans += 1
+                else:
+                    self.spans.append(span)
+            self.dropped_spans += other.dropped_spans
+        return self
 
     # ------------------------------------------------------------------
     # exports

@@ -225,3 +225,57 @@ class TestBinaryOracle:
         base = LatentScoreOracle(np.array([0.0, 1.0]))
         assert BinaryOracle(base).bounds == (-1.0, 1.0)
         assert BinaryOracle(base).value_range == 2.0
+
+
+class TestHistogramSamplingVectorization:
+    """``_sample_ratings``'s searchsorted path vs the broadcast reference.
+
+    The sampler was rewritten from an O(pairs × size × grid) comparison
+    broadcast to one global ``searchsorted`` over row-shifted CDFs; these
+    tests pin that the rewrite is draw-for-draw identical under a pinned
+    RNG (so recorded experiment results cannot move) and that the sampled
+    distribution still matches the pmfs.
+    """
+
+    @pytest.fixture
+    def oracle(self):
+        support = np.arange(1.0, 6.0)
+        pmfs = {
+            0: np.array([0.6, 0.3, 0.1, 0.0, 0.0]),
+            1: np.array([0.0, 0.0, 0.1, 0.3, 0.6]),
+            2: np.array([0.2, 0.2, 0.2, 0.2, 0.2]),
+        }
+        return HistogramOracle(support, pmfs)
+
+    @staticmethod
+    def _reference_sample(oracle, rows, size, rng):
+        """The former broadcast implementation, kept as the oracle's spec."""
+        u = rng.random((len(rows), size))
+        idx = (u[:, :, None] > oracle._cdf[rows][:, None, :]).sum(axis=2)
+        return oracle._support[idx]
+
+    def test_matches_broadcast_reference_draw_for_draw(self, oracle):
+        rows = np.array([0, 2, 1, 2])
+        expected = self._reference_sample(
+            oracle, rows, 257, np.random.default_rng(42)
+        )
+        actual = oracle._sample_ratings(rows, 257, np.random.default_rng(42))
+        np.testing.assert_array_equal(actual, expected)
+
+    def test_matches_reference_on_degenerate_pmfs(self, oracle):
+        # Zero-probability cells produce repeated CDF values; ties must
+        # resolve exactly as the strict ``u > cdf`` comparison did.
+        rows = np.array([0, 1])
+        for seed in range(5):
+            expected = self._reference_sample(
+                oracle, rows, 64, np.random.default_rng(seed)
+            )
+            actual = oracle._sample_ratings(
+                rows, 64, np.random.default_rng(seed)
+            )
+            np.testing.assert_array_equal(actual, expected)
+
+    def test_distribution_unchanged(self, oracle, rng):
+        ratings = oracle._sample_ratings(np.array([0]), 20000, rng)[0]
+        freqs = [(ratings == v).mean() for v in oracle._support]
+        np.testing.assert_allclose(freqs, [0.6, 0.3, 0.1, 0.0, 0.0], atol=0.02)

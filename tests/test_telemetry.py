@@ -276,3 +276,117 @@ class TestRegistryInjection:
         registry.reset()
         assert registry.snapshot()["counters"] == []
         assert registry.spans == []
+
+
+class TestRegistryMerge:
+    """merge(): counters add, gauges last-write, histograms combine,
+    spans concatenate — the reconciliation the parallel engine relies on."""
+
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("total", method="spr").inc(3)
+        b.counter("total", method="spr").inc(4)
+        b.counter("total", method="heap").inc(2)
+        a.merge(b)
+        assert a.counter_value("total", method="spr") == 7
+        assert a.counter_value("total", method="heap") == 2
+        # the source registry is untouched
+        assert b.counter_value("total", method="spr") == 4
+
+    def test_gauges_last_write_wins(self):
+        a, b, c = MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+        a.gauge("active").set(1)
+        b.gauge("active").set(5)
+        c.gauge("active").set(2)
+        a.merge(b, c)
+        assert a.gauge("active").value == 2
+
+    def test_histograms_combine_exactly_below_reservoir(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            a.histogram("work").observe(v)
+        for v in (10.0, 20.0):
+            b.histogram("work").observe(v)
+        a.merge(b)
+        hist = a.histogram("work")
+        assert hist.count == 5
+        assert hist.sum == 36.0
+        assert hist.min == 1.0 and hist.max == 20.0
+        assert hist.quantile(1.0) == 20.0
+        assert hist.quantile(0.0) == 1.0
+
+    def test_histogram_merge_matches_serial_observation_order(self):
+        serial = MetricsRegistry()
+        part_a, part_b = MetricsRegistry(), MetricsRegistry()
+        for v in range(10):
+            serial.histogram("work").observe(float(v))
+            (part_a if v < 5 else part_b).histogram("work").observe(float(v))
+        merged = MetricsRegistry().merge(part_a, part_b)
+        assert merged.histogram("work").percentiles() == (
+            serial.histogram("work").percentiles()
+        )
+
+    def test_histogram_merge_beyond_reservoir_keeps_exact_moments(self):
+        small = Histogram("work", reservoir=8)
+        other = Histogram("work", reservoir=8)
+        for v in range(6):
+            small.observe(float(v))
+        for v in range(6, 20):
+            other.observe(float(v))
+        small.merge_from(other)
+        assert small.count == 20
+        assert small.sum == sum(range(20))
+        assert small.min == 0.0 and small.max == 19.0
+        assert len(small._values) == 8  # capped, deterministic reservoir
+
+    def test_empty_histogram_merge_is_noop(self):
+        a = MetricsRegistry()
+        a.histogram("work").observe(1.0)
+        a.merge(MetricsRegistry())
+        assert a.histogram("work").count == 1
+
+    def test_spans_concatenate_in_merge_order(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        with a.span("first"):
+            pass
+        with b.span("second"):
+            pass
+        with b.span("third"):
+            pass
+        a.merge(b)
+        assert [s.name for s in a.spans] == ["first", "second", "third"]
+
+    def test_span_overflow_counts_as_dropped(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        with b.span("late"):
+            pass
+        b.dropped_spans = 3
+        original_cap = MetricsRegistry.MAX_SPANS
+        MetricsRegistry.MAX_SPANS = 0
+        try:
+            a.merge(b)
+        finally:
+            MetricsRegistry.MAX_SPANS = original_cap
+        assert a.spans == []
+        assert a.dropped_spans == 4  # 1 overflow + 3 inherited
+
+    def test_merge_into_self_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.merge(registry)
+
+    def test_merge_returns_self_for_chaining(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("x").inc()
+        assert a.merge(b) is a
+
+    def test_merged_snapshot_equals_serial_snapshot(self):
+        """Two halves of a workload merged == the same workload serial."""
+        serial = MetricsRegistry()
+        halves = [MetricsRegistry(), MetricsRegistry()]
+        for index, target in enumerate([serial, serial, halves[0], halves[1]]):
+            target.counter("runs_total").inc()
+            target.histogram("cost").observe(float(index % 2))
+            target.gauge("phase").set(index % 2)
+        merged = MetricsRegistry().merge(*halves)
+        assert merged.snapshot() == serial.snapshot()

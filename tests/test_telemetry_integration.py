@@ -297,3 +297,67 @@ class TestCLITelemetry:
         code = main(["-v", "datasets"])
         assert code == 0
         assert logging.getLogger("repro").level == logging.INFO
+
+
+class TestInstrumentHandleCaching:
+    """Hot-path counter handles are cached per registry, not per process.
+
+    ``Comparator`` and ``BinaryOracle`` hoist their ``counter()`` lookups
+    onto cached handles; these regressions pin that the cache is keyed on
+    registry *identity*, so ``use_registry`` scoping still lands counts in
+    the active registry after the handle has been warmed elsewhere.
+    """
+
+    @staticmethod
+    def _comparator():
+        from repro.config import ComparisonConfig
+        from repro.core.comparison import Comparator
+        from repro.crowd.oracle import LatentScoreOracle
+        from repro.crowd.workers import GaussianNoise
+
+        oracle = LatentScoreOracle(np.array([0.0, 5.0]), GaussianNoise(0.5))
+        return Comparator(
+            oracle, ComparisonConfig(min_workload=4, budget=100)
+        )
+
+    def test_comparator_handle_rebinds_on_registry_change(self):
+        from repro.core.cache import JudgmentCache
+
+        comparator = self._comparator()
+        with use_registry() as first:
+            record = comparator.compare(1, 0, np.random.default_rng(0))
+        assert record.cost > 0
+        drawn_first = first.counter_value("oracle_judgments_total")
+        assert drawn_first >= record.cost
+
+        # Same comparator instance, new scoped registry: the warmed handle
+        # must not leak counts back into ``first``.
+        comparator.cache = JudgmentCache()
+        with use_registry() as second:
+            record2 = comparator.compare(1, 0, np.random.default_rng(1))
+        assert record2.cost > 0
+        assert second.counter_value("oracle_judgments_total") >= record2.cost
+        assert first.counter_value("oracle_judgments_total") == drawn_first
+
+    def test_binary_oracle_handle_rebinds_on_registry_change(self):
+        class ZeroThenOnes(JudgmentOracle):
+            bounds = (-1.0, 1.0)
+
+            def __init__(self):
+                self.calls = 0
+
+            def draw(self, i, j, size, rng):
+                self.calls += 1
+                if self.calls % 2 == 1:
+                    return np.zeros(size)
+                return np.ones(size)
+
+        oracle = BinaryOracle(ZeroThenOnes())
+        with use_registry() as first:
+            oracle.draw(0, 1, 3, np.random.default_rng(0))
+        assert first.counter_value("oracle_wasted_judgments_total") == 3
+
+        with use_registry() as second:
+            oracle.draw(0, 1, 5, np.random.default_rng(0))
+        assert second.counter_value("oracle_wasted_judgments_total") == 5
+        assert first.counter_value("oracle_wasted_judgments_total") == 3
