@@ -1,23 +1,34 @@
 #!/usr/bin/env python
-"""Performance benchmark: serial vs process-pool experiment runs.
+"""Performance benchmarks: parallel runner and group-comparison engine.
 
-Times one fixed workload — ``run_methods`` over several confidence-aware
-methods on a mid-size cell — executed serially and through the parallel
-experiment engine, verifies the two produce **identical** deterministic
-results (per-run cost/rounds/NDCG/precision and every ``MethodStats``
-aggregate), and writes the measurements to ``BENCH_parallel_runner.json``
-so the perf trajectory of the engine is recorded run over run.
+Two suites, both selectable via ``--suite`` (default ``all``):
+
+``runner``
+    Times one fixed workload — ``run_methods`` over several
+    confidence-aware methods on a mid-size cell — executed serially and
+    through the parallel experiment engine, verifies the two produce
+    **identical** deterministic results (per-run cost/rounds/NDCG/precision
+    and every ``MethodStats`` aggregate), and writes the measurements to
+    ``BENCH_parallel_runner.json``.
+
+``group``
+    Times one parallel comparison group of ``--group-pairs`` pairs (default
+    500, mixed difficulty) through both group engines — the historical
+    per-pair ``sequential`` loop and the batched ``racing`` kernel — and
+    writes the measurements to ``BENCH_group_engine.json``.  The engines
+    draw the same judgment distribution, so total microtasks must agree
+    within a few percent while wall time should not.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_perf.py             # full workload
+    PYTHONPATH=src python scripts/bench_perf.py             # both suites
     PYTHONPATH=src python scripts/bench_perf.py --quick     # CI-size
-    PYTHONPATH=src python scripts/bench_perf.py --jobs 4 --output out.json
+    PYTHONPATH=src python scripts/bench_perf.py --suite group --group-pairs 500
 
-Speedup scales with available cores (the work units are independent
-processes); on a single-core machine the parallel path measures pool
-overhead only.  The JSON records ``cpu_count`` so readings are
-interpretable across machines — see docs/performance.md.
+Runner speedup scales with available cores; group-engine speedup is
+core-independent (it removes Python interpreter overhead, not work).  The
+JSON records ``cpu_count`` so readings are interpretable across machines —
+see docs/performance.md.
 """
 
 from __future__ import annotations
@@ -33,10 +44,19 @@ from datetime import datetime, timezone
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
+import numpy as np  # noqa: E402
+
+from repro.config import ComparisonConfig  # noqa: E402
+from repro.core.outcomes import Outcome  # noqa: E402
+from repro.crowd.oracle import LatentScoreOracle  # noqa: E402
+from repro.crowd.session import CrowdSession  # noqa: E402
+from repro.crowd.workers import GaussianNoise  # noqa: E402
 from repro.experiments import ExperimentParams, run_methods  # noqa: E402
 from repro.telemetry import MetricsRegistry, use_registry  # noqa: E402
 
-DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_parallel_runner.json"
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = _ROOT / "BENCH_parallel_runner.json"
+GROUP_OUTPUT = _ROOT / "BENCH_group_engine.json"
 
 #: The fixed workload: every method is confidence-aware and mid-cost, the
 #: cell is big enough that each run does real work (~seconds total).
@@ -72,8 +92,95 @@ def _timed(params, n_jobs):
     return stats, elapsed, microtasks
 
 
+def _host() -> dict:
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
+def _group_session(engine: str, n_pairs: int, seed: int = 0) -> CrowdSession:
+    """A fresh session over ``2 * n_pairs`` items with mixed pair difficulty.
+
+    Score gaps cycle through easy (decided at the cold start) to hard
+    (dozens of samples), so the group races realistically rather than
+    resolving in one round.
+    """
+    gaps = np.resize(np.asarray([0.25, 0.5, 1.0, 2.0]), n_pairs)
+    scores = np.zeros(2 * n_pairs)
+    scores[1::2] = gaps
+    oracle = LatentScoreOracle(scores, GaussianNoise(1.0))
+    config = ComparisonConfig(
+        confidence=0.95, budget=150, min_workload=5, batch_size=10,
+        group_engine=engine,
+    )
+    return CrowdSession(oracle, config, seed=seed)
+
+
+def bench_group(args) -> int:
+    """Time one parallel group of ``args.group_pairs`` pairs on both engines."""
+    n_pairs = args.group_pairs
+    # Better items first, as the ranking primitives orient their calls.
+    pairs = [(2 * i + 1, 2 * i) for i in range(n_pairs)]
+    legs = {}
+    for engine in ("sequential", "racing"):
+        print(f"group leg ({engine}, {n_pairs} pairs) ...", flush=True)
+        session = _group_session(engine, n_pairs)
+        started = time.perf_counter()
+        records = session.compare_many(pairs)
+        elapsed = time.perf_counter() - started
+        legs[engine] = {
+            "seconds": round(elapsed, 4),
+            "microtasks": session.total_cost,
+            "rounds": session.total_rounds,
+            "decided": sum(1 for r in records if r.outcome is not Outcome.TIE),
+            "mean_workload": round(
+                sum(r.workload for r in records) / len(records), 2
+            ),
+        }
+        print(
+            f"  {elapsed:.2f}s, {session.total_cost:,} microtasks, "
+            f"{session.total_rounds} rounds, {legs[engine]['decided']} decided"
+        )
+
+    speedup = (
+        legs["sequential"]["seconds"] / legs["racing"]["seconds"]
+        if legs["racing"]["seconds"]
+        else float("inf")
+    )
+    # Same distribution, different RNG consumption order: total spend must
+    # reconcile within a few percent or one engine is buying wrong.
+    cost_ratio = legs["racing"]["microtasks"] / legs["sequential"]["microtasks"]
+    reconciled = 0.9 <= cost_ratio <= 1.1
+    payload = {
+        "benchmark": "group_engine",
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "host": _host(),
+        "workload": (
+            f"compare_many over one {n_pairs}-pair group "
+            "(gaps cycling 0.25/0.5/1.0/2.0, sigma=1.0, B=150, I=5, eta=10)"
+        ),
+        "engines": legs,
+        "speedup": round(speedup, 3),
+        "cost_ratio_racing_vs_sequential": round(cost_ratio, 4),
+        "costs_reconcile": reconciled,
+    }
+    args.group_output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"group-engine speedup: {speedup:.2f}x "
+        f"(cost ratio {cost_ratio:.3f}) -> {args.group_output}"
+    )
+    if not reconciled:
+        print("error: engine costs diverge beyond tolerance", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", choices=("all", "runner", "group"),
+                        default="all", help="which benchmark(s) to run")
     parser.add_argument("--jobs", type=int, default=4,
                         help="worker processes for the parallel leg (default 4)")
     parser.add_argument("--runs", type=int, default=None,
@@ -82,7 +189,16 @@ def main(argv=None) -> int:
                         help="CI-size workload (fewer, smaller runs)")
     parser.add_argument("--dataset", default="jester")
     parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--group-pairs", type=int, default=500,
+                        help="pairs in the group-engine benchmark (default 500)")
+    parser.add_argument("--group-output", type=pathlib.Path,
+                        default=GROUP_OUTPUT)
     args = parser.parse_args(argv)
+
+    if args.suite in ("all", "group"):
+        status = bench_group(args)
+        if status or args.suite == "group":
+            return status
 
     n_runs = args.runs if args.runs is not None else (8 if args.quick else 16)
     n_items = 20 if args.quick else 30
@@ -113,11 +229,7 @@ def main(argv=None) -> int:
     payload = {
         "benchmark": "parallel_runner",
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "host": {
-            "cpu_count": os.cpu_count(),
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-        },
+        "host": _host(),
         "workload": workload,
         "quick": args.quick,
         "jobs": args.jobs,

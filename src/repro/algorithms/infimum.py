@@ -54,9 +54,9 @@ def infimum_estimate(
     chain = pairs[: k - 1]
     prune = pairs[k - 1 :]
     if prune:
-        session.compare_group(prune)
+        session.compare_many(prune)
     if chain:
-        session.compare_group(chain)
+        session.compare_many(chain)
     cost_after, rounds_after = session.spent()
     return TopKOutcome(
         method="infimum",

@@ -29,7 +29,7 @@ def _select(session: "CrowdSession", ids: list[int], k: int) -> list[int]:
         return list(ids)
     pivot = int(ids[session.rng.integers(0, len(ids))])
     others = [item for item in ids if item != pivot]
-    records = session.compare_group([(item, pivot) for item in others])
+    records = session.compare_many([(item, pivot) for item in others])
 
     winners, losers, block = [], [], [pivot]
     for rec in records:

@@ -32,7 +32,7 @@ def _knockout(
         pairs = [
             (current[pos], current[pos + 1]) for pos in range(0, len(current) - 1, 2)
         ]
-        records = session.compare_group(pairs)
+        records = session.compare_many(pairs)
         survivors = [current[-1]] if len(current) % 2 == 1 else []
         for rec in records:
             winner = resolve_winner(rec, session.rng)

@@ -25,6 +25,7 @@ from .errors import ConfigError
 __all__ = ["ComparisonConfig", "SPRConfig", "DEFAULT_COMPARISON", "DEFAULT_SPR"]
 
 EstimatorName = Literal["student", "stein", "hoeffding"]
+GroupEngineName = Literal["racing", "sequential"]
 
 #: Safety cap used in place of an unbounded per-pair budget (``B = ∞`` in
 #: Table 3).  One million microtasks on one pair is far beyond anything the
@@ -59,6 +60,19 @@ class ComparisonConfig:
     stein_epsilon:
         The small positive ``ε`` of Algorithm 5 keeping the Stein interval
         strictly away from the neutral point.
+    group_engine:
+        How a *parallel comparison group* (§5.5) is executed.  ``"racing"``
+        (the default) advances every pair of the group through one
+        vectorized :class:`~repro.crowd.pool.RacingPool` in lockstep
+        rounds — one oracle call and one stopping-rule evaluation per
+        round for the whole group.  ``"sequential"`` runs one comparison
+        process per pair in Python, reproducing the pre-engine behavior
+        bit for bit.  Both engines share the per-sample stopping
+        semantics, charge only consumed microtasks, and bill the group
+        ``max`` of its members' rounds; they consume the session RNG in a
+        different order, so individual draws (and therefore seed-pinned
+        workloads) differ between them while remaining statistically
+        indistinguishable.
     """
 
     confidence: float = 0.98
@@ -67,6 +81,7 @@ class ComparisonConfig:
     batch_size: int = 30
     estimator: EstimatorName = "student"
     stein_epsilon: float = 1e-9
+    group_engine: GroupEngineName = "racing"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.confidence < 1.0:
@@ -85,6 +100,8 @@ class ComparisonConfig:
             raise ConfigError(f"unknown estimator {self.estimator!r}")
         if self.stein_epsilon <= 0:
             raise ConfigError(f"stein_epsilon must be > 0, got {self.stein_epsilon}")
+        if self.group_engine not in ("racing", "sequential"):
+            raise ConfigError(f"unknown group_engine {self.group_engine!r}")
 
     @property
     def alpha(self) -> float:

@@ -20,10 +20,18 @@ __all__ = ["JudgmentCache"]
 
 @dataclass
 class _Bag:
-    """A growable array of canonical-orientation judgments."""
+    """A growable array of canonical-orientation judgments.
+
+    Alongside the raw values the bag maintains running moments (``Σv`` and
+    ``Σv²``), so :meth:`JudgmentCache.moments` answers in O(1) instead of
+    re-reducing the whole bag — it is read per winner on every SPR
+    reference change and per pair when seeding the Thurstone order.
+    """
 
     buffer: np.ndarray
     size: int
+    s1: float = 0.0
+    s2: float = 0.0
 
     @classmethod
     def empty(cls, capacity: int = 32) -> "_Bag":
@@ -38,6 +46,8 @@ class _Bag:
             self.buffer = grown
         self.buffer[self.size : needed] = values
         self.size = needed
+        self.s1 += float(values.sum())
+        self.s2 += float(np.square(values).sum())
 
     def view(self) -> np.ndarray:
         return self.buffer[: self.size]
@@ -91,15 +101,20 @@ class JudgmentCache:
         """``(n, mean, variance)`` of the stored bag for ``(i, j)``.
 
         Variance is the unbiased sample variance (NaN below 2 samples).
-        Used by reference-based sorting to seed the Thurstone order.
+        Used by reference-based sorting to seed the Thurstone order.  Reads
+        the bag's running moments, so the call is O(1) regardless of bag
+        size; the sign of the mean follows the requested orientation.
         """
-        values = self.bag(i, j)
-        n = len(values)
-        if n == 0:
+        key, sign = self._key(i, j)
+        bag = self._bags.get(key)
+        if bag is None or bag.size == 0:
             return 0, float("nan"), float("nan")
-        mean = float(values.mean())
-        var = float(values.var(ddof=1)) if n >= 2 else float("nan")
-        return n, mean, var
+        n = bag.size
+        mean = bag.s1 / n
+        if n < 2:
+            return n, sign * mean, float("nan")
+        var = max((bag.s2 - n * mean * mean) / (n - 1), 0.0)
+        return n, sign * float(mean), float(var)
 
     def clear(self) -> None:
         """Drop every bag."""

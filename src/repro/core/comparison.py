@@ -89,6 +89,36 @@ class ComparisonRecord:
         """Whether the verdict came entirely from replayed judgments."""
         return self.cost == 0 and self.workload > 0
 
+    @classmethod
+    def from_race(
+        cls,
+        left: int,
+        right: int,
+        code: int,
+        *,
+        workload: int,
+        cost: int,
+        rounds: int,
+        mean: float,
+        std: float,
+    ) -> "ComparisonRecord":
+        """Build a record from a racing pool's per-pair end state.
+
+        ``code`` is the pool's decision code (``+1``/``-1``/``0``) in the
+        orientation of ``(left, right)``; the remaining fields carry the
+        same meaning as in a sequentially produced record.
+        """
+        return cls(
+            left=int(left),
+            right=int(right),
+            outcome=Outcome.from_code(code),
+            workload=int(workload),
+            cost=int(cost),
+            rounds=int(rounds),
+            mean=mean if workload else math.nan,
+            std=std,
+        )
+
 
 class Comparator:
     """Runs comparison processes against an oracle with a shared cache."""

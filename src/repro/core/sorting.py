@@ -3,7 +3,10 @@
 Everything here spends real (simulated) microtasks through a
 :class:`~repro.crowd.session.CrowdSession` and is therefore subject to the
 same confidence guarantees, caching and cost/latency accounting as any
-other comparison.
+other comparison.  Parallel groups — every knockout level and every
+odd/even pass — go through :meth:`CrowdSession.compare_many`, so under the
+default ``group_engine="racing"`` they advance in vectorized lockstep
+rounds with no per-pair Python loop on the oracle path.
 
 Ties — pairs the budget could not separate — are resolved *heuristically*
 (by the sign of the observed sample mean, then randomly) because every
@@ -67,7 +70,7 @@ def crowd_max(session: "CrowdSession", ids: list[int]) -> int:
         pairs = [
             (current[pos], current[pos + 1]) for pos in range(0, len(current) - 1, 2)
         ]
-        records = session.compare_group(pairs)
+        records = session.compare_many(pairs)
         survivors = [resolve_winner(rec, session.rng) for rec in records]
         if len(current) % 2 == 1:
             survivors.append(current[-1])
@@ -95,7 +98,7 @@ def crowd_max_many(
             for pos in range(0, len(bracket) - 1, 2):
                 pairs.append((bracket[pos], bracket[pos + 1]))
                 sources.append(which)
-        records = session.compare_group(pairs)
+        records = session.compare_many(pairs)
         # Odd leftovers get a bye into the next level.
         survivors: list[list[int]] = [
             [bracket[-1]] if len(bracket) % 2 == 1 else [] for bracket in brackets
@@ -145,7 +148,7 @@ def _adjacent_pass(
     pairs_at = list(range(start, len(order) - 1, 2))
     if not pairs_at:
         return False
-    records = session.compare_group(
+    records = session.compare_many(
         [(order[pos], order[pos + 1]) for pos in pairs_at]
     )
     swapped = False

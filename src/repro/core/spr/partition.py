@@ -58,16 +58,25 @@ class PartitionResult:
 
 
 def _kth_best_winner(
-    session: "CrowdSession", winners: list[int], reference: int, k: int
+    session: "CrowdSession",
+    winners: list[int],
+    reference: int,
+    k: int,
+    pool_means: dict[int, float] | None = None,
 ) -> int:
     """The k-th best confirmed winner, judged by observed means vs ``r``.
 
-    Every winner's bag against the reference is already paid for; the k-th
-    largest sample mean is the free estimate of the k-th best item.
+    Every winner's mean against the reference is already paid for — the
+    racing pool hands it over (its running ``s1 / n``) the moment the pair
+    resolves, and winners carried over a reference change fall back to the
+    judgment cache's running moments.  The k-th largest sample mean is the
+    free estimate of the k-th best item.
     """
     means = []
     for item in winners:
-        _, mean, _ = session.moments(item, reference)
+        mean = pool_means.get(item) if pool_means is not None else None
+        if mean is None:
+            _, mean, _ = session.moments(item, reference)
         means.append(mean if math.isfinite(mean) else math.inf)
     ranked = sorted(zip(means, winners), key=lambda pair: -pair[0])
     return ranked[k - 1][1]
@@ -108,12 +117,15 @@ def partition(
     pending = [i for i in ids if i != reference]
     pool = RacingPool(session, [(item, reference) for item in pending])
     resolved_backlog = list(pool.initial_decisions)
+    # Winner means vs the *current* reference, harvested as pairs resolve.
+    pool_means: dict[int, float] = {}
 
     while True:
         for idx, code in resolved_backlog:
             item = int(pool.left[idx])
             if code > 0:
                 winners.append(item)
+                pool_means[item] = pool.mean(idx)
             elif code < 0:
                 losers.append(item)
             else:
@@ -133,11 +145,14 @@ def partition(
             and changes < max_reference_changes
             and undecided > 0
         ):
-            new_reference = _kth_best_winner(session, winners, reference, k)
+            new_reference = _kth_best_winner(
+                session, winners, reference, k, pool_means
+            )
             losers.append(reference)
             winners.remove(new_reference)
             restart = [int(pool.left[i]) for i in pool.active_indices] + ties
             ties = []
+            pool_means = {}  # stale: they were measured vs the old reference
             telemetry.counter("spr_reference_changes_total").inc()
             logger.info(
                 "reference change %d: %d -> %d with %d pairs restarting",

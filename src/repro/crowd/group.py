@@ -1,0 +1,108 @@
+"""The batched group-comparison engine.
+
+A *parallel comparison group* (§5.5) is a set of comparisons outsourced to
+the crowd simultaneously: cost is the sum over the group, latency is the
+max.  The sequential engine realises that model by running one Python
+comparison process per pair; this module realises it the way the
+sequential-elimination literature schedules it — every pair of the group
+races through one :class:`~repro.crowd.pool.RacingPool` in lockstep
+rounds, so each round is **one** ``draw_pairs`` call and **one**
+vectorized stopping-rule evaluation for the whole group, regardless of
+group size.
+
+The engine synthesizes the same :class:`ComparisonRecord` list the
+sequential path returns and preserves its accounting semantics exactly:
+
+* the stopping rule is checked after every sample;
+* cost is charged only for consumed microtasks;
+* the group occupies the crowd for ``max`` rounds over its members;
+* the judgment cache receives exactly the consumed draws;
+* a pair whose cached bag already decides it costs nothing, and repeated
+  occurrences of one pair inside a group are served from the first
+  occurrence's samples — exactly as a sequential cache replay would.
+
+Only the *order* in which the session RNG is consumed differs from the
+sequential engine (lockstep rounds interleave the pairs' draws), so
+individual judgments — and therefore seed-pinned workloads — differ while
+remaining statistically indistinguishable (`tests/test_group_engine.py`
+pins both the invariants and the statistical parity).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from ..core.comparison import ComparisonRecord
+from .pool import RacingPool
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .session import CrowdSession
+
+__all__ = ["race_group"]
+
+
+def race_group(
+    session: "CrowdSession", pairs: list[tuple[int, int]]
+) -> list[tuple[ComparisonRecord, bool]]:
+    """Run one parallel comparison group through a racing pool.
+
+    Returns ``(record, fresh)`` tuples in input order, where ``fresh``
+    marks the first occurrence of each distinct pair (repeats are cache
+    replays: zero cost, zero rounds, possibly flipped orientation).
+    Charges the session for consumed microtasks only; latency is *not*
+    charged here — the caller bills the group max of the records' rounds.
+    """
+    first_of: dict[tuple[int, int], int] = {}
+    unique: list[tuple[int, int]] = []
+    slot_of: list[int] = []
+    for left, right in pairs:
+        left, right = int(left), int(right)
+        if left == right:
+            raise ValueError(f"cannot compare item {left} with itself")
+        key = (left, right) if left < right else (right, left)
+        slot = first_of.get(key)
+        if slot is None:
+            slot = len(unique)
+            first_of[key] = slot
+            unique.append((left, right))
+        slot_of.append(slot)
+
+    pool = RacingPool(session, unique, charge_latency=False)
+    replayed = pool.n.copy()  # workload already paid for by the cache
+    code_of = dict(pool.initial_decisions)
+    rounds_of = [0] * len(unique)
+    round_no = 0
+    while not pool.is_done:
+        round_no += 1
+        for idx, code in pool.round():
+            code_of[idx] = code
+            rounds_of[idx] = round_no
+
+    records: list[tuple[ComparisonRecord, bool]] = []
+    seen: set[int] = set()
+    for (left, right), slot in zip(pairs, slot_of):
+        left, right = int(left), int(right)
+        fresh = slot not in seen
+        seen.add(slot)
+        workload, mean, var = pool.moments(slot)
+        code = code_of.get(slot, 0)
+        if (left, right) != unique[slot]:  # opposite orientation of the race
+            code = -code
+            mean = -mean
+        records.append(
+            (
+                ComparisonRecord.from_race(
+                    left,
+                    right,
+                    code,
+                    workload=workload,
+                    cost=int(pool.n[slot] - replayed[slot]) if fresh else 0,
+                    rounds=rounds_of[slot] if fresh else 0,
+                    mean=mean,
+                    std=math.sqrt(var) if not math.isnan(var) else math.nan,
+                ),
+                fresh,
+            )
+        )
+    return records

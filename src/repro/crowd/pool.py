@@ -88,23 +88,77 @@ class RacingPool:
             self._replay_cache()
 
     def _replay_cache(self) -> None:
-        """Seed pair states from previously stored judgments."""
+        """Seed pair states from previously stored judgments.
+
+        All non-empty bags are replayed through **one padded batched
+        scan**: the bags are packed into a ``(pairs × longest bag)``
+        matrix and the stopping rule is evaluated once over the cumulative
+        moments of every prefix of every bag — the same per-sample
+        semantics as a per-pair :meth:`SequentialTester.scan`, without
+        building a fresh tester per pair.  Keeps SPR reference changes and
+        cache-heavy re-partitions from going quadratic in Python.
+        """
         cache = self.session.cache
-        for idx in range(len(self.left)):
-            bag = cache.bag(int(self.left[idx]), int(self.right[idx]))
-            if bag.size == 0:
-                continue
-            tester = make_tester(self.config, self.session.oracle.value_range)
-            _, code = tester.scan(bag[: self._budget])
-            self.n[idx] = tester.state.n
-            self.s1[idx] = tester.state.s1
-            self.s2[idx] = tester.state.s2
-            if self._stein:
-                self._stage_var[idx] = tester.stage_variance
-            if code is not None:
+        bags = [
+            cache.bag(int(i), int(j))[: self._budget]
+            for i, j in zip(self.left, self.right)
+        ]
+        lengths = np.asarray([bag.size for bag in bags], dtype=np.int64)
+        rows = np.flatnonzero(lengths > 0)
+        if rows.size == 0:
+            return
+        row_len = lengths[rows]
+        width = int(row_len.max())
+        values = np.zeros((rows.size, width), dtype=np.float64)
+        for slot, row in enumerate(rows):
+            values[slot, : lengths[row]] = bags[row]
+
+        counts = np.arange(1, width + 1, dtype=np.int64)
+        n_mat = np.broadcast_to(counts, values.shape)
+        s1_mat = np.cumsum(values, axis=1)
+        s2_mat = np.cumsum(np.square(values), axis=1)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            mean_mat = s1_mat / n_mat
+        stage = self.config.min_workload
+        if self._stein:
+            # The first stage completes inside the replay for every bag at
+            # least `I` deep; freeze those rows' variances at sample I.
+            staged = np.flatnonzero(row_len >= stage)
+            if staged.size:
+                col = stage - 1
+                var = sample_variance(
+                    n_mat[staged, col], mean_mat[staged, col], s2_mat[staged, col]
+                )
+                self._stage_var[rows[staged]] = var
+            codes = SteinTester.frozen_codes(
+                n_mat,
+                mean_mat,
+                self._stage_var[rows][:, None],
+                stage - 1,
+                self._tester.alpha,
+                self._tester.epsilon,
+            )
+        else:
+            codes = self._tester.decision_codes(n_mat, mean_mat, s2_mat)
+        codes = np.where(n_mat >= stage, codes, 0)
+        codes = np.where(counts[None, :] <= row_len[:, None], codes, 0)
+
+        has_decision = codes != 0
+        first = np.where(
+            has_decision.any(axis=1), has_decision.argmax(axis=1), row_len - 1
+        )
+        slots = np.arange(rows.size)
+        self.n[rows] = n_mat[slots, first]
+        self.s1[rows] = s1_mat[slots, first]
+        self.s2[rows] = s2_mat[slots, first]
+        decided = has_decision.any(axis=1)
+        for slot in range(rows.size):  # pair order, as a per-pair replay would
+            idx = int(rows[slot])
+            if decided[slot]:
+                code = int(codes[slot, first[slot]])
                 self.status[idx] = DECIDED_LEFT if code > 0 else DECIDED_RIGHT
                 self.initial_decisions.append((idx, code))
-            elif self.n[idx] >= self._budget:
+            elif row_len[slot] >= self._budget:
                 self.status[idx] = TIE
                 self.initial_decisions.append((idx, 0))
         if self.initial_decisions:
@@ -166,6 +220,9 @@ class RacingPool:
             raise ValueError(f"step must be >= 1, got {step}")
 
         remaining = (self._budget - self.n[active]).astype(np.int64)
+        # Never draw wider than any pair can still consume: active pairs
+        # have n < budget, so the clamp keeps step >= 1.
+        step = int(min(step, int(remaining.max())))
         draw = self.session.oracle.draw_pairs(
             self.left[active], self.right[active], step, self.session.rng
         )
@@ -221,7 +278,7 @@ class RacingPool:
         if self.charge_latency:
             self.session.charge_rounds(1)
         self._telemetry.counter("crowd_pool_rounds_total").inc()
-        self._telemetry.counter("oracle_judgments_total").inc(active.size * step)
+        self._telemetry.counter("oracle_judgments_total").inc(int(draw.size))
         if exhausted_rows.size:
             self._telemetry.counter("crowd_budget_ties_total").inc(
                 int(exhausted_rows.size)

@@ -89,6 +89,8 @@ class CrowdSession:
                 registry.counter("crowd_cache_hits_total"),
                 registry.counter("crowd_budget_ties_total"),
                 registry.histogram("crowd_comparison_workload"),
+                registry.counter("crowd_groups_total", engine="racing"),
+                registry.counter("crowd_groups_total", engine="sequential"),
             )
             self._instrument_cache = cached
         return cached
@@ -119,7 +121,7 @@ class CrowdSession:
         With ``charge_latency=False`` only cost is charged; callers that
         orchestrate parallel groups account latency themselves.
         """
-        _, comparisons, microtasks, cache_hits, ties, workload = self._instruments()
+        _, comparisons, microtasks, cache_hits, ties, workload = self._instruments()[:6]
         self.cost.begin_comparison()
         record = self.comparator.compare(i, j, self.rng)
         comparisons.inc()
@@ -143,9 +145,62 @@ class CrowdSession:
 
         Cost is the sum over the group; latency is the maximum — the crowd
         answers all the pairs' batches in overlapping rounds (§5.5).
+        Alias of :meth:`compare_many`, kept for its long-standing name.
         """
-        records = [self.compare(i, j, charge_latency=False) for i, j in pairs]
-        self.latency.add_parallel([r.rounds for r in records])
+        return self.compare_many(pairs)
+
+    def compare_many(
+        self, pairs: Iterable[tuple[int, int]], *, charge_latency: bool = True
+    ) -> list[ComparisonRecord]:
+        """Run a parallel comparison group through the configured engine.
+
+        With ``config.group_engine == "racing"`` (the default) the whole
+        group advances through one vectorized
+        :class:`~repro.crowd.pool.RacingPool` — one oracle call and one
+        stopping-rule evaluation per lockstep round, no per-pair Python
+        loop.  ``"sequential"`` reproduces the historical behavior bit for
+        bit by running one comparison process per pair.  Both engines
+        charge only consumed microtasks and bill the group ``max`` of its
+        members' rounds; see docs/performance.md for when the two round
+        schedules differ.
+        """
+        pairs = [(int(i), int(j)) for i, j in pairs]
+        if not pairs:
+            return []
+        for left, right in pairs:
+            if left == right:  # reject before the ledgers see the group
+                raise ValueError(f"cannot compare item {left} with itself")
+        instruments = self._instruments()
+        _, comparisons, _, cache_hits, ties, workload = instruments[:6]
+        racing = self.config.group_engine == "racing"
+        instruments[6 if racing else 7].inc()
+        if not racing:
+            records = [self.compare(i, j, charge_latency=False) for i, j in pairs]
+            if charge_latency:
+                self.latency.add_parallel([r.rounds for r in records])
+            return records
+
+        from .group import race_group  # deferred: group imports the pool
+
+        for _ in pairs:
+            self.cost.begin_comparison()
+        raced = race_group(self, pairs)
+        records = [record for record, _ in raced]
+        for record, fresh in raced:
+            comparisons.inc()
+            workload.observe(record.workload)
+            # The pool already counted its own cache replays and raced
+            # budget ties; count only what it could not see — repeated
+            # pairs inside the group and ties decided from the cache.
+            if record.from_cache and not fresh:
+                cache_hits.inc()
+            if record.outcome is Outcome.TIE and (not fresh or record.cost == 0):
+                ties.inc()
+        if charge_latency:
+            self.latency.add_parallel([r.rounds for r in records])
+        for record in records:
+            for listener in self._compare_listeners:
+                listener(self, record)
         return records
 
     def moments(self, i: int, j: int) -> tuple[int, float, float]:

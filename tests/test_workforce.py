@@ -112,24 +112,28 @@ class TestWorkforceOracle:
 
 class TestEndToEnd:
     def test_spr_absorbs_spammers_with_more_cost(self):
+        # Aggregated over seeds: a single run can come out cheaper with
+        # spammers by luck of the judgment stream.
         scores = np.linspace(0.0, 10.0, 20)
-        results = {}
-        for rate in (0.0, 0.3):
-            force = Workforce.generate(40, seed=5, spammer_rate=rate)
-            oracle = WorkforceOracle(_base_oracle(scores, sigma=0.8), force)
-            session = CrowdSession(
-                oracle,
-                ComparisonConfig(
-                    confidence=0.95, budget=2000, min_workload=10, batch_size=10
-                ),
-                seed=9,
-            )
-            outcome = spr_topk(session, list(range(20)), 3)
-            results[rate] = (session.total_cost, set(outcome.topk))
-        clean_cost, clean_top = results[0.0]
-        spam_cost, spam_top = results[0.3]
-        assert spam_cost > clean_cost  # spammers make the query dearer
-        assert len(spam_top & {19, 18, 17}) >= 2  # but barely less correct
+        costs = {0.0: 0, 0.3: 0}
+        hits = 0
+        for seed in (7, 8, 9):
+            for rate in (0.0, 0.3):
+                force = Workforce.generate(40, seed=5, spammer_rate=rate)
+                oracle = WorkforceOracle(_base_oracle(scores, sigma=0.8), force)
+                session = CrowdSession(
+                    oracle,
+                    ComparisonConfig(
+                        confidence=0.95, budget=2000, min_workload=10, batch_size=10
+                    ),
+                    seed=seed,
+                )
+                outcome = spr_topk(session, list(range(20)), 3)
+                costs[rate] += session.total_cost
+                if rate == 0.3:
+                    hits += len(set(outcome.topk) & {19, 18, 17})
+        assert costs[0.3] > costs[0.0]  # spammers make the query dearer
+        assert hits >= 2 * 3  # but barely less correct
 
 
 class TestQualityEstimation:
