@@ -38,15 +38,8 @@ from repro.telemetry import MetricsRegistry, use_registry
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
-
-def pytest_addoption(parser):
-    parser.addoption(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for experiment runs (0 = one per CPU, "
-        "default 1 = serial); results are bit-for-bit identical",
-    )
+# NOTE: the ``--jobs`` option itself is registered once, in the repo-root
+# conftest.py, so tests/ and benchmarks/ invocations share one definition.
 
 
 @pytest.fixture(autouse=True)

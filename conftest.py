@@ -1,0 +1,37 @@
+"""Repo-level pytest configuration: tiers and shared options.
+
+The suite is split into two explicit tiers (docs/testing.md):
+
+* ``tier1`` — fast, deterministic, seed-pinned; the default selection
+  (``addopts`` deselects ``statistical``) and the bar every PR must meet.
+* ``statistical`` — multi-seed distributional tests; run with
+  ``pytest -m statistical`` (their own CI leg).
+
+Every collected test that is not explicitly marked ``statistical`` is
+auto-marked ``tier1``, so ``-m tier1`` and the default selection agree
+without sprinkling the marker over hundreds of existing tests.
+
+``--jobs`` is registered here (not in ``benchmarks/conftest.py``) so that
+tests, benchmarks, and combined invocations all share one definition —
+pytest refuses to start when two conftests register the same option.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for experiment/validation runs (0 = one per "
+        "CPU, default 1 = serial); results are bit-for-bit identical",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if item.get_closest_marker("statistical") is None:
+            item.add_marker(pytest.mark.tier1)

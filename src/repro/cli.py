@@ -7,6 +7,8 @@ Three subcommands cover the common workflows without writing Python:
   the result, its cost, and its quality against the ground truth.
 * ``crowd-topk experiment`` — regenerate one of the paper's tables or
   figures at a chosen run count.
+* ``crowd-topk validate`` — run the statistical validation suites
+  (empirical guarantee checking, runtime invariants, golden traces).
 
 Examples::
 
@@ -16,6 +18,8 @@ Examples::
     crowd-topk -v experiment table7 --runs 3
     crowd-topk experiment fig8 --dataset book --runs 2
     crowd-topk experiment fig9 --runs 10 --jobs 4
+    crowd-topk validate --suite guarantees --jobs 4 --report report.json
+    crowd-topk validate --suite golden --update-golden
 
 ``--jobs N`` fans the independent runs of an experiment out over N worker
 processes (0 = one per CPU); results are bit-for-bit identical to the
@@ -29,6 +33,7 @@ metrics snapshot, and prints a summary table; ``-v`` / ``-vv`` raise the
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import sys
 from collections.abc import Sequence
@@ -55,6 +60,12 @@ from .experiments import (
 from .metrics import ndcg_at_k, top_k_precision
 from .planner import plan_query
 from .telemetry import JsonlSink, MetricsRegistry, use_registry
+from .validation import run_golden_suite, run_guarantee_suite, run_invariant_suite
+from .validation.golden import DEFAULT_GOLDEN_DIR
+from .validation.guarantees import DEFAULT_ALPHAS, DEFAULT_REPLICATIONS
+
+#: Suites in the order ``--suite all`` runs them.
+VALIDATION_SUITES = ("guarantees", "invariants", "golden")
 
 __all__ = ["main", "build_parser"]
 
@@ -133,6 +144,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="fan runs out over N worker processes (0 = one per CPU, "
         "default 1 = serial); results are bit-for-bit identical",
+    )
+
+    validate = commands.add_parser(
+        "validate",
+        help="run the statistical validation suites",
+        description="Measure the library against the paper's statistical "
+        "promises: empirical error rates vs the declared alpha "
+        "(guarantees), accounting identities on live sessions "
+        "(invariants), and structural snapshots of pinned scenarios "
+        "(golden).  Exit code 0 = all requested suites pass.",
+    )
+    validate.add_argument(
+        "--suite", choices=VALIDATION_SUITES + ("all",), default="all",
+        help="which suite to run (default: all)",
+    )
+    validate.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan guarantee replications out over N worker processes "
+        "(0 = one per CPU); results are bit-for-bit identical",
+    )
+    validate.add_argument(
+        "--replications", type=int, default=DEFAULT_REPLICATIONS,
+        help="replications per guarantee check "
+        f"(default {DEFAULT_REPLICATIONS})",
+    )
+    validate.add_argument(
+        "--alpha", type=float, action="append", default=None, metavar="A",
+        help="error-probability level(s) to check, repeatable "
+        f"(default {list(DEFAULT_ALPHAS)})",
+    )
+    validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write the combined report as JSON",
+    )
+    validate.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="write validation spans and a metrics snapshot to a JSONL file",
+    )
+    validate.add_argument(
+        "--golden-dir", metavar="DIR", default=str(DEFAULT_GOLDEN_DIR),
+        help=f"directory holding golden traces (default {DEFAULT_GOLDEN_DIR})",
+    )
+    validate.add_argument(
+        "--update-golden", action="store_true",
+        help="re-pin the golden traces instead of diffing against them",
     )
     return parser
 
@@ -287,6 +344,59 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    suites = VALIDATION_SUITES if args.suite == "all" else (args.suite,)
+    alphas = tuple(args.alpha) if args.alpha else DEFAULT_ALPHAS
+    sink = JsonlSink(args.telemetry) if args.telemetry else None
+    if sink is not None:
+        try:
+            sink.open()  # fail before the suites, not after
+        except OSError as exc:
+            print(f"error: cannot write telemetry to {sink.path}: {exc}",
+                  file=sys.stderr)
+            return 1
+
+    reports: dict[str, object] = {}
+    with use_registry(MetricsRegistry()) as registry:
+        if sink is not None:
+            registry.add_listener(sink.write_event)
+        with use_jobs(args.jobs):
+            for suite in suites:
+                if suite == "guarantees":
+                    report = run_guarantee_suite(
+                        alphas=alphas,
+                        replications=args.replications,
+                        seed=args.seed,
+                    )
+                elif suite == "invariants":
+                    report = run_invariant_suite(seed=args.seed)
+                else:
+                    report = run_golden_suite(
+                        args.golden_dir, update=args.update_golden
+                    )
+                reports[suite] = report
+                print(report.to_text())
+                print()
+        if sink is not None:
+            sink.write_snapshot(registry)
+            sink.close()
+
+    passed = all(report.passed for report in reports.values())
+    if args.report:
+        payload = {
+            "passed": passed,
+            "suites": {name: report.to_dict() for name, report in reports.items()},
+        }
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.report}")
+    if sink is not None:
+        print(f"telemetry written to {sink.path}")
+    print(f"validate: {'PASS' if passed else 'FAIL'}")
+    return 0 if passed else 1
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     plan = plan_query(
         args.n_items,
@@ -313,6 +423,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_plan(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -1,0 +1,401 @@
+"""Runtime invariants — the accounting identities the simulator must keep.
+
+Where :mod:`repro.validation.guarantees` asks "is the *statistics* right",
+this module asks "is the *bookkeeping* right": identities that must hold on
+every run regardless of seed, engine, or configuration.  The checks are
+packaged as an :class:`InvariantEngine` so both the test suite and live
+simulations can attach them to a :class:`~repro.crowd.session.CrowdSession`
+and have every comparison audited as it happens:
+
+* **per-record** (via a compare listener): costs and rounds are
+  non-negative, a comparison never charges more than its workload, the
+  workload respects the per-pair budget ``B`` and — when decided — the
+  cold start ``I``, the winner agrees with the observed mean, and budget
+  ties only occur at exactly ``B``;
+* **per-region** (via :meth:`InvariantEngine.attach`): the cost ledger,
+  the ``crowd_microtasks_total`` counter, the judgment cache, and the
+  oracle's drawn-judgment counter all reconcile over the attached block;
+* **post-hoc**: cache-bag running moments match a fresh numpy
+  recomputation (:meth:`check_cache_moments`), partitioning returns an
+  exhaustive trichotomy (:meth:`check_partition`), and the selected
+  reference lands in the §5.1 sweet spot (:meth:`check_sweet_spot` — a
+  *soft* check, since selection only promises it with high probability).
+
+``strict=True`` raises :class:`InvariantViolation` at the first failed
+check; ``strict=False`` collects results for a report, which is how
+``crowd-topk validate --suite invariants`` runs it.  Every check also
+lands in telemetry (``validation_invariant_checks_total{invariant=...}`` /
+``validation_invariant_violations_total{invariant=...}``).
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..config import ComparisonConfig, SPRConfig
+from ..core.outcomes import Outcome
+from ..core.spr import PartitionResult, spr_topk
+from ..crowd.oracle import LatentScoreOracle
+from ..crowd.session import CrowdSession
+from ..crowd.workers import GaussianNoise
+from ..errors import CrowdTopkError
+from ..rng import make_rng, spawn_many
+from ..telemetry import get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.cache import JudgmentCache
+    from ..core.comparison import ComparisonRecord
+
+__all__ = [
+    "InvariantEngine",
+    "InvariantReport",
+    "InvariantResult",
+    "InvariantViolation",
+    "run_invariant_suite",
+]
+
+
+class InvariantViolation(CrowdTopkError, AssertionError):
+    """A runtime invariant did not hold (raised only in strict mode)."""
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """One evaluated invariant: its name, verdict, and failure detail."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+    soft: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "detail": self.detail,
+            "soft": self.soft,
+        }
+
+
+@dataclass(frozen=True)
+class InvariantReport:
+    """Aggregated invariant results (soft failures are warnings only)."""
+
+    results: tuple[InvariantResult, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(r.ok for r in self.results if not r.soft)
+
+    @property
+    def violations(self) -> tuple[InvariantResult, ...]:
+        return tuple(r for r in self.results if not r.ok and not r.soft)
+
+    @property
+    def warnings(self) -> tuple[InvariantResult, ...]:
+        return tuple(r for r in self.results if not r.ok and r.soft)
+
+    def to_dict(self) -> dict:
+        return {
+            "suite": "invariants",
+            "passed": self.passed,
+            "checks": len(self.results),
+            "violations": [r.to_dict() for r in self.violations],
+            "warnings": [r.to_dict() for r in self.warnings],
+        }
+
+    def to_text(self) -> str:
+        lines = [
+            f"invariants: {len(self.results)} checks, "
+            f"{len(self.violations)} violations, {len(self.warnings)} warnings"
+        ]
+        for r in self.violations:
+            lines.append(f"  VIOLATION {r.name}: {r.detail}")
+        for r in self.warnings:
+            lines.append(f"  warning   {r.name}: {r.detail}")
+        lines.append(f"overall: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(lines)
+
+
+class InvariantEngine:
+    """Reusable runtime checks over sessions, caches, and phase results.
+
+    Parameters
+    ----------
+    strict:
+        Raise :class:`InvariantViolation` on the first failed hard check
+        (the test-suite mode).  ``False`` collects results instead (the
+        CLI report mode).  Soft checks never raise.
+    """
+
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
+        self.results: list[InvariantResult] = []
+
+    # ------------------------------------------------------------------
+    # core
+    # ------------------------------------------------------------------
+    def check(
+        self, name: str, ok: bool, detail: str = "", *, soft: bool = False
+    ) -> bool:
+        """Record one invariant evaluation; raise when strict and violated."""
+        registry = get_registry()
+        registry.counter("validation_invariant_checks_total", invariant=name).inc()
+        result = InvariantResult(name, bool(ok), "" if ok else detail, soft)
+        self.results.append(result)
+        if not ok:
+            registry.counter(
+                "validation_invariant_violations_total", invariant=name
+            ).inc()
+            if self.strict and not soft:
+                raise InvariantViolation(f"{name}: {detail}")
+        return bool(ok)
+
+    def report(self) -> InvariantReport:
+        return InvariantReport(results=tuple(self.results))
+
+    # ------------------------------------------------------------------
+    # per-record checks (compare-listener shaped)
+    # ------------------------------------------------------------------
+    def on_compare(self, session: CrowdSession, record: "ComparisonRecord") -> None:
+        """Audit one :class:`ComparisonRecord` (attachable as a listener)."""
+        pair = f"({record.left}, {record.right})"
+        self.check(
+            "record_nonnegative",
+            record.cost >= 0 and record.rounds >= 0 and record.workload >= 0,
+            f"{pair}: cost={record.cost} rounds={record.rounds} "
+            f"workload={record.workload}",
+        )
+        self.check(
+            "record_cost_within_workload",
+            record.cost <= record.workload,
+            f"{pair}: charged {record.cost} for a workload of {record.workload}",
+        )
+        budget = session.config.effective_budget
+        self.check(
+            "record_budget_respected",
+            record.workload <= budget,
+            f"{pair}: workload {record.workload} exceeds budget {budget}",
+        )
+        if record.outcome is Outcome.TIE:
+            self.check(
+                "tie_exhausts_budget",
+                record.workload == budget,
+                f"{pair}: tie declared at workload {record.workload} != "
+                f"budget {budget}",
+            )
+        else:
+            self.check(
+                "decided_after_cold_start",
+                record.workload >= session.config.min_workload,
+                f"{pair}: verdict at workload {record.workload} before the "
+                f"cold start {session.config.min_workload}",
+            )
+            expected = record.left if record.mean > 0 else record.right
+            self.check(
+                "winner_matches_mean",
+                record.winner == expected and math.isfinite(record.mean),
+                f"{pair}: winner {record.winner} but mean {record.mean!r}",
+            )
+
+    # ------------------------------------------------------------------
+    # region reconciliation
+    # ------------------------------------------------------------------
+    @contextmanager
+    def attach(
+        self, session: CrowdSession, *, expect_cached_draws: bool = True
+    ) -> Iterator["InvariantEngine"]:
+        """Audit every comparison in the block and reconcile the accounts.
+
+        On exit the engine checks, over the attached region, that
+
+        * the cost ledger moved exactly as much as the
+          ``crowd_microtasks_total`` counter (telemetry reconciles);
+        * the oracle produced at least as many judgments as were charged
+          (racing pools may buy draws that stopping rules never consume);
+        * with ``expect_cached_draws`` (the default, true for all SPR
+          paths) every charged microtask landed in the judgment cache;
+        * comparison records seen by the listener never claim more cost
+          than the ledger recorded (phases such as partitioning charge the
+          session directly without emitting records, never the reverse).
+
+        Note: :meth:`CrowdSession.fork` clears compare listeners, so
+        per-record audits cover the attached session only; the ledger and
+        counter reconciliation spans forks too, because those are shared.
+        """
+        registry = session.telemetry
+        cost0 = session.cost.microtasks
+        cache0 = session.cache.total_samples
+        micro0 = registry.counter_value("crowd_microtasks_total")
+        draws0 = registry.counter_value("oracle_judgments_total")
+        seen_cost = 0
+
+        def audit(sess: CrowdSession, record: "ComparisonRecord") -> None:
+            nonlocal seen_cost
+            seen_cost += record.cost
+            self.on_compare(sess, record)
+
+        session.add_compare_listener(audit)
+        try:
+            yield self
+        finally:
+            session.remove_compare_listener(audit)
+            spent = session.cost.microtasks - cost0
+            metered = registry.counter_value("crowd_microtasks_total") - micro0
+            drawn = registry.counter_value("oracle_judgments_total") - draws0
+            cached = session.cache.total_samples - cache0
+            self.check(
+                "ledger_matches_telemetry",
+                spent == metered,
+                f"ledger charged {spent} microtasks but telemetry metered "
+                f"{metered}",
+            )
+            self.check(
+                "draws_cover_spend",
+                drawn >= spent,
+                f"charged {spent} microtasks but the oracle only produced "
+                f"{drawn} judgments",
+            )
+            if expect_cached_draws:
+                self.check(
+                    "spend_lands_in_cache",
+                    cached == spent,
+                    f"charged {spent} microtasks but the cache grew by {cached}",
+                )
+            self.check(
+                "records_within_ledger",
+                seen_cost <= spent,
+                f"records claim {seen_cost} microtasks, ledger shows {spent}",
+            )
+
+    # ------------------------------------------------------------------
+    # post-hoc structural checks
+    # ------------------------------------------------------------------
+    def check_cache_moments(
+        self, cache: "JudgmentCache", atol: float = 1e-9
+    ) -> bool:
+        """Running bag moments match a fresh numpy recomputation."""
+        ok = True
+        for i, j in cache.pairs():
+            values = cache.bag(i, j)
+            n, mean, var = cache.moments(i, j)
+            ok &= self.check(
+                "cache_bag_count",
+                n == values.size,
+                f"pair ({i}, {j}): moments report n={n}, bag holds {values.size}",
+            )
+            if values.size == 0:
+                continue
+            fresh_mean = float(np.mean(values))
+            ok &= self.check(
+                "cache_bag_mean",
+                abs(mean - fresh_mean) <= atol,
+                f"pair ({i}, {j}): running mean {mean!r} vs numpy {fresh_mean!r}",
+            )
+            if values.size >= 2:
+                fresh_var = float(np.var(values, ddof=1))
+                ok &= self.check(
+                    "cache_bag_variance",
+                    abs(var - fresh_var) <= atol * max(1.0, abs(fresh_var)),
+                    f"pair ({i}, {j}): running var {var!r} vs numpy {fresh_var!r}",
+                )
+        return ok
+
+    def check_partition(
+        self, result: PartitionResult, item_ids: Sequence[int]
+    ) -> bool:
+        """Winners ∪ ties ∪ losers is an exact partition of the input."""
+        groups = (result.winners, result.ties, result.losers)
+        combined = [int(i) for group in groups for i in group]
+        ok = self.check(
+            "partition_no_overlap",
+            len(combined) == len(set(combined)),
+            f"an item appears in two groups: {sorted(combined)}",
+        )
+        ok &= self.check(
+            "partition_exhaustive",
+            sorted(combined) == sorted(int(i) for i in item_ids),
+            f"groups cover {sorted(set(combined))}, "
+            f"input was {sorted(int(i) for i in item_ids)}",
+        )
+        ok &= self.check(
+            "partition_reference_placed",
+            result.reference in result.winners or result.reference in result.losers,
+            f"final reference {result.reference} is in neither winners nor "
+            "losers (Line 13 of Algorithm 4)",
+        )
+        return ok
+
+    def check_sweet_spot(
+        self,
+        scores: Mapping[int, float] | np.ndarray,
+        reference: int,
+        k: int,
+        c: float,
+    ) -> bool:
+        """The reference's true rank lies in ``{k, …, ⌊ck⌋}`` (soft).
+
+        Selection only promises the sweet spot with high probability
+        (§5.1), so a miss is reported as a warning, never an error.
+        """
+        if isinstance(scores, np.ndarray):
+            scores = {int(i): float(s) for i, s in enumerate(scores)}
+        better = sum(1 for s in scores.values() if s > scores[int(reference)])
+        rank = better + 1
+        lo, hi = k, math.floor(c * k)
+        return self.check(
+            "reference_in_sweet_spot",
+            lo <= rank <= hi,
+            f"reference {reference} has true rank {rank}, sweet spot is "
+            f"[{lo}, {hi}]",
+            soft=True,
+        )
+
+
+def run_invariant_suite(
+    seed: int = 0,
+    queries: int = 5,
+    n_items: int = 24,
+    k: int = 4,
+) -> InvariantReport:
+    """Audit several full SPR queries end to end.
+
+    Each query runs on a fresh synthetic instance with the engine attached
+    (every comparison checked live, accounts reconciled), then the cache
+    moments, the partition trichotomy, and the sweet-spot placement are
+    verified post-hoc.  Collect-mode (`strict=False`): the caller reads
+    the report instead of catching exceptions.
+    """
+    engine = InvariantEngine(strict=False)
+    registry = get_registry()
+    root = make_rng(seed)
+    rngs = spawn_many(root, queries)
+    with registry.span("validation.invariants", queries=queries, items=n_items, k=k):
+        for rng in rngs:
+            scores = rng.normal(0.0, 3.0, n_items)
+            oracle = LatentScoreOracle(scores, GaussianNoise(1.0))
+            config = ComparisonConfig(
+                confidence=0.95, budget=300, min_workload=10, batch_size=20
+            )
+            session = CrowdSession(oracle, config, seed=rng)
+            with engine.attach(session):
+                result = spr_topk(
+                    session, list(range(n_items)), k, SPRConfig(sweet_spot=1.5)
+                )
+            engine.check_cache_moments(session.cache)
+            if result.partition_result is not None:
+                part = result.partition_result
+                engine.check_partition(part, list(range(n_items)))
+            if result.selection is not None:
+                engine.check_sweet_spot(
+                    scores, result.selection.reference, k, c=1.5
+                )
+    report = engine.report()
+    if not report.passed:
+        registry.counter("validation_suite_failures_total", suite="invariants").inc()
+    return report

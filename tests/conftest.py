@@ -10,6 +10,20 @@ from repro.core.items import ItemSet
 from repro.crowd.oracle import LatentScoreOracle
 from repro.crowd.session import CrowdSession
 from repro.crowd.workers import GaussianNoise
+from repro.experiments.parallel import use_jobs
+
+
+@pytest.fixture(autouse=True)
+def ambient_jobs(request):
+    """Install the session's ``--jobs`` as the ambient worker count.
+
+    Entry points called with ``n_jobs=None`` (the experiment harness, the
+    guarantee suite) then fan out accordingly — this is how the
+    ``pytest -m statistical --jobs 2`` CI leg parallelizes without any
+    per-test plumbing.  The default (1) keeps every test serial.
+    """
+    with use_jobs(request.config.getoption("--jobs")):
+        yield
 
 
 @pytest.fixture

@@ -1,0 +1,175 @@
+"""Property-based tests for the sequential testers and the judgment cache.
+
+Hypothesis generates judgment streams; the properties hold for *any*
+stream, not just the seeds the rest of the suite pins:
+
+* confidence intervals shrink monotonically with ``n`` (for Student at a
+  held sample deviation — more data can legitimately raise ``S`` — and
+  unconditionally for the frozen-variance Stein stage);
+* every tester is symmetric under judgment negation: flipping the sign of
+  the whole stream flips the verdict and consumes the same samples;
+* the cache's running bag moments match a fresh numpy recomputation to
+  1e-9, no matter how the stream is chunked or which pair orientation
+  each chunk arrives in.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import JudgmentCache
+from repro.core.estimators import HoeffdingTester, SteinTester, StudentTester
+from repro.stats.tdist import t_quantile
+from repro.validation import InvariantEngine
+
+# Bounded, well-scaled judgments: the 1e-9 moment tolerance is about the
+# running-sum algebra, not about catastrophic cancellation at 1e300.
+judgment = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+judgment_streams = st.lists(judgment, min_size=2, max_size=80)
+alphas = st.sampled_from([0.01, 0.05, 0.1, 0.2])
+
+TESTER_FACTORIES = {
+    "student": lambda alpha: StudentTester(alpha=alpha, min_workload=2),
+    "stein": lambda alpha: SteinTester(alpha=alpha, min_workload=2),
+    "hoeffding": lambda alpha: HoeffdingTester(
+        alpha=alpha, min_workload=2, value_range=100.0
+    ),
+}
+
+
+class TestIntervalsShrink:
+    @given(alpha=alphas, start=st.integers(2, 50))
+    @settings(deadline=None, derandomize=True)
+    def test_student_margin_decreases_in_n_at_held_deviation(self, alpha, start):
+        # Student's half-width is t_{α/2, n-1}·S/√n: at any held S the
+        # n-dependent factor must fall strictly with every extra sample.
+        factors = [
+            t_quantile(alpha, n - 1) / math.sqrt(n)
+            for n in range(start, start + 30)
+        ]
+        assert all(a > b for a, b in zip(factors, factors[1:]))
+
+    @given(values=judgment_streams, alpha=alphas, extra=st.integers(1, 30))
+    @settings(deadline=None, derandomize=True)
+    def test_student_interval_never_widens_on_mean_preserving_data(
+        self, values, alpha, extra
+    ):
+        # Samples equal to the current mean leave μ̄ in place, cannot raise
+        # S, and raise n — all three move the interval inward (or keep it).
+        tester = StudentTester(alpha=alpha, min_workload=2)
+        tester.push_many(np.asarray(values))
+        low, high = tester.interval()
+        n0, mean = tester.state.n, tester.state.mean
+        tester.push_many(np.full(extra, mean))
+        low2, high2 = tester.interval()
+        # The running-sum variance cancels catastrophically when the true
+        # deviation is ~0 at a large mean (s2 ≈ n·mean²), so the width can
+        # gain a numerical floor of order t·√(ε·n)·|mean| that no exact
+        # arithmetic would show.  Allow exactly that, nothing more.
+        cancellation = (
+            t_quantile(alpha, n0 - 1)
+            * math.sqrt(np.finfo(float).eps * n0 * (n0 + extra))
+            * max(1.0, abs(mean))
+        )
+        slack = 1e-9 * max(1.0, abs(low), abs(high)) + cancellation
+        assert high2 - low2 <= (high - low) + slack
+        assert low2 >= low - slack and high2 <= high + slack
+
+    @given(values=judgment_streams, alpha=alphas)
+    @settings(deadline=None, derandomize=True)
+    def test_stein_frozen_half_width_decreases_in_n(self, values, alpha):
+        # Stage variance and df are frozen after the first stage, so the
+        # second-stage half-width S·t/√n is 1/√n — strictly decreasing.
+        tester = SteinTester(alpha=alpha, min_workload=len(values))
+        tester.push_many(np.asarray(values))
+        stage = tester.stage_variance
+        assert not math.isnan(stage)
+        tq = t_quantile(alpha, tester.stage_df)
+        widths = [
+            math.sqrt(stage) * tq / math.sqrt(n)
+            for n in range(len(values), len(values) + 30)
+        ]
+        assert all(a >= b for a, b in zip(widths, widths[1:]))
+        if stage > 0:
+            assert all(a > b for a, b in zip(widths, widths[1:]))
+
+
+class TestNegationSymmetry:
+    @given(
+        values=judgment_streams,
+        alpha=alphas,
+        kind=st.sampled_from(sorted(TESTER_FACTORIES)),
+    )
+    @settings(deadline=None, derandomize=True)
+    def test_scan_is_antisymmetric(self, values, alpha, kind):
+        values = np.asarray(values)
+        straight = TESTER_FACTORIES[kind](alpha)
+        mirrored = TESTER_FACTORIES[kind](alpha)
+        consumed_s, decision_s = straight.scan(values)
+        consumed_m, decision_m = mirrored.scan(-values)
+        assert consumed_s == consumed_m
+        if decision_s is None:
+            assert decision_m is None
+        else:
+            assert decision_m == -decision_s
+        assert straight.state.n == mirrored.state.n
+        assert straight.state.s1 == pytest.approx(-mirrored.state.s1)
+        assert straight.state.s2 == pytest.approx(mirrored.state.s2)
+
+    @given(values=judgment_streams, alpha=alphas)
+    @settings(deadline=None, derandomize=True)
+    def test_student_interval_mirrors(self, values, alpha):
+        values = np.asarray(values)
+        straight = StudentTester(alpha=alpha, min_workload=2)
+        mirrored = StudentTester(alpha=alpha, min_workload=2)
+        straight.push_many(values)
+        mirrored.push_many(-values)
+        low, high = straight.interval()
+        mlow, mhigh = mirrored.interval()
+        assert mlow == pytest.approx(-high, abs=1e-12, rel=1e-9)
+        assert mhigh == pytest.approx(-low, abs=1e-12, rel=1e-9)
+
+
+class TestCacheMoments:
+    @given(
+        chunks=st.lists(
+            st.tuples(st.lists(judgment, min_size=1, max_size=20), st.booleans()),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(deadline=None, derandomize=True)
+    def test_running_moments_match_numpy(self, chunks):
+        # Chunks arrive in both pair orientations; the bag normalizes the
+        # sign, and its O(1) running moments must equal a fresh reduction.
+        cache = JudgmentCache()
+        recorded: list[float] = []
+        for values, flipped in chunks:
+            if flipped:
+                cache.append(1, 0, np.asarray(values))
+                recorded.extend(-v for v in values)
+            else:
+                cache.append(0, 1, np.asarray(values))
+                recorded.extend(values)
+        expected = np.asarray(recorded)
+        n, mean, var = cache.moments(0, 1)
+        assert n == expected.size
+        assert np.allclose(cache.bag(0, 1), expected, atol=0.0)
+        assert mean == pytest.approx(float(np.mean(expected)), abs=1e-9, rel=1e-9)
+        if n >= 2:
+            assert var == pytest.approx(
+                float(np.var(expected, ddof=1)), abs=1e-9, rel=1e-9
+            )
+        # The invariant engine audits the same identity in strict mode.
+        engine = InvariantEngine(strict=True)
+        assert engine.check_cache_moments(cache, atol=1e-7)

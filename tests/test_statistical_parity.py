@@ -1,0 +1,94 @@
+"""Distributional parity of the racing and sequential group engines.
+
+The two engines consume the session RNG in different orders, so any
+single seed's workloads differ — that is the PR-3 pitfall that makes
+seed-pinned cross-engine assertions meaningless.  What must hold is the
+*distribution*: over many seeds the engines buy the same expected number
+of microtasks and recover the true top-k equally often.  These tests are
+``statistical`` tier: they catch a re-pin that silently changed one
+engine's behavior, by distribution instead of by a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ComparisonConfig, SPRConfig
+from repro.core.spr import spr_topk
+from repro.crowd.oracle import LatentScoreOracle
+from repro.crowd.session import CrowdSession
+from repro.crowd.workers import GaussianNoise
+from repro.rng import make_rng, spawn_many
+
+pytestmark = pytest.mark.statistical
+
+SEEDS = 10
+# k is large relative to n on purpose: the ranking phase then sorts real
+# multi-pair groups, which is where the two engines consume the RNG in
+# different orders.  (With tiny k every group degenerates to one pair and
+# the engines coincide bit for bit — no parity left to test.)
+N_ITEMS, K = 24, 8
+GROUP = [(15, 0), (12, 2), (9, 5), (13, 4), (11, 6)]
+
+
+def _engine_run(engine: str, scores: np.ndarray, seed_rng) -> tuple[int, float]:
+    """One SPR query under ``engine``; returns (cost, recall@k)."""
+    oracle = LatentScoreOracle(scores, GaussianNoise(1.0))
+    config = ComparisonConfig(
+        confidence=0.95, budget=200, min_workload=10, batch_size=20,
+        group_engine=engine,
+    )
+    session = CrowdSession(oracle, config, seed=seed_rng)
+    result = spr_topk(session, list(range(N_ITEMS)), K, SPRConfig(sweet_spot=1.5))
+    true_topk = {int(i) for i in np.argsort(-scores, kind="stable")[:K]}
+    recall = len(set(result.topk) & true_topk) / K
+    return session.total_cost, recall
+
+
+class TestEngineDistributionalParity:
+    def test_mean_cost_and_recall_agree_over_seeds(self):
+        # Same instance and same per-seed generator state for both
+        # engines; only the engine differs.  Means must agree within a
+        # band far wider than noise but far narrower than any behavioral
+        # regression (e.g. double-charging replays) would produce.
+        costs = {"racing": [], "sequential": []}
+        recalls = {"racing": [], "sequential": []}
+        root = make_rng(2024)
+        for seed_rng in spawn_many(root, SEEDS):
+            scores = seed_rng.normal(0.0, 3.0, N_ITEMS)
+            for engine in costs:
+                # Sessions consume the generator; give each engine its own
+                # identically-seeded clone.
+                clone = np.random.default_rng(seed_rng.bit_generator.seed_seq)
+                cost, recall = _engine_run(engine, scores, clone)
+                costs[engine].append(cost)
+                recalls[engine].append(recall)
+        mean_cost = {e: float(np.mean(c)) for e, c in costs.items()}
+        mean_recall = {e: float(np.mean(r)) for e, r in recalls.items()}
+        assert mean_cost["racing"] == pytest.approx(
+            mean_cost["sequential"], rel=0.15
+        )
+        assert abs(mean_recall["racing"] - mean_recall["sequential"]) <= 0.15
+        for engine, value in mean_recall.items():
+            assert value >= 0.8, f"{engine} mean recall {value} collapsed"
+
+    def test_group_workloads_agree_in_expectation(self):
+        # Direct compare_many parity on a fixed group: expected spend and
+        # verdict distribution, not per-seed equality.
+        scores = np.linspace(0.0, 7.5, N_ITEMS)
+        totals = {"racing": 0, "sequential": 0}
+        decided = {"racing": 0, "sequential": 0}
+        for seed in range(SEEDS):
+            for engine in totals:
+                oracle = LatentScoreOracle(scores, GaussianNoise(1.5))
+                config = ComparisonConfig(
+                    confidence=0.95, budget=120, min_workload=5,
+                    batch_size=10, group_engine=engine,
+                )
+                session = CrowdSession(oracle, config, seed=seed)
+                records = session.compare_many(GROUP)
+                totals[engine] += session.total_cost
+                decided[engine] += sum(r.outcome.decided for r in records)
+        assert totals["racing"] == pytest.approx(totals["sequential"], rel=0.15)
+        assert abs(decided["racing"] - decided["sequential"]) <= SEEDS

@@ -1,0 +1,152 @@
+"""Unit tests for the golden-trace harness.
+
+``diff_traces`` is exercised on handcrafted traces (tolerance, missing
+fields, counter drift); the suite itself is exercised against temporary
+directories for the update / missing-file paths, and against the
+checked-in ``tests/golden/`` pins — which is the actual regression gate:
+any behavioral change to the comparison engine shows up as a named diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry import MetricsRegistry, use_registry
+from repro.validation import (
+    GoldenTrace,
+    default_golden_cases,
+    diff_traces,
+    run_golden_suite,
+)
+from repro.validation.golden import load_trace, save_trace, trace_path
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _trace(**overrides) -> GoldenTrace:
+    base = dict(
+        name="toy",
+        records=(
+            {"left": 0, "right": 1, "outcome": "LEFT", "workload": 10,
+             "cost": 10, "rounds": 1, "mean": 0.5, "std": 0.25},
+        ),
+        summary={"cost": 10, "rounds": 1},
+        counters={"crowd_comparisons_total": 1},
+        meta={"seed": 1},
+    )
+    base.update(overrides)
+    return GoldenTrace(**base)
+
+
+class TestDiffTraces:
+    def test_identical_traces_match(self):
+        assert diff_traces(_trace(), _trace()) == []
+
+    def test_float_within_tolerance_matches(self):
+        drifted = _trace()
+        records = ({**drifted.records[0], "mean": 0.5 + 1e-9},)
+        assert diff_traces(_trace(), _trace(records=records)) == []
+
+    def test_float_beyond_tolerance_named_by_field(self):
+        records = ({**_trace().records[0], "mean": 0.6},)
+        diffs = diff_traces(_trace(), _trace(records=records))
+        assert diffs and diffs[0].startswith("records[0].mean:")
+
+    def test_integer_fields_compare_exactly(self):
+        records = ({**_trace().records[0], "workload": 11},)
+        diffs = diff_traces(_trace(), _trace(records=records))
+        assert any(d.startswith("records[0].workload:") for d in diffs)
+
+    def test_record_count_mismatch_reported(self):
+        diffs = diff_traces(_trace(), _trace(records=()))
+        assert any(d.startswith("records:") for d in diffs)
+
+    def test_none_only_matches_none(self):
+        # std serializes NaN as None; a number appearing there is a change.
+        records = ({**_trace().records[0], "std": None},)
+        diffs = diff_traces(_trace(), _trace(records=records))
+        assert any("records[0].std" in d for d in diffs)
+
+    def test_counter_drift_and_missing_keys_reported(self):
+        actual = _trace(counters={"crowd_comparisons_total": 2})
+        assert any(
+            d.startswith("counters.crowd_comparisons_total")
+            for d in diff_traces(_trace(), actual)
+        )
+        actual = _trace(counters={})
+        assert any("missing" in d for d in diff_traces(_trace(), actual))
+        expected = _trace(summary={})
+        assert any(
+            "unexpected new entry" in d for d in diff_traces(expected, _trace())
+        )
+
+    def test_trace_round_trips_through_json(self, tmp_path):
+        trace = _trace()
+        path = save_trace(trace, tmp_path)
+        assert path == trace_path(tmp_path, "toy")
+        assert load_trace(path).to_dict() == trace.to_dict()
+        # And the on-disk form is plain indented JSON, reviewable in a PR.
+        payload = json.loads(path.read_text())
+        assert payload["name"] == "toy"
+
+
+class TestGoldenSuite:
+    def test_checked_in_pins_still_match(self):
+        # The real regression gate: current behavior vs the committed pins.
+        with use_registry(MetricsRegistry()):
+            report = run_golden_suite(GOLDEN_DIR)
+        assert report.passed, report.to_text()
+        assert set(report.diffs) == set(default_golden_cases())
+
+    def test_missing_golden_file_fails_with_repin_hint(self, tmp_path):
+        with use_registry(MetricsRegistry()):
+            report = run_golden_suite(tmp_path)
+        assert not report.passed
+        text = report.to_text()
+        assert "missing golden file" in text and "--update-golden" in text
+
+    def test_update_writes_pins_that_then_pass(self, tmp_path):
+        with use_registry(MetricsRegistry()):
+            update = run_golden_suite(tmp_path, update=True)
+            verify = run_golden_suite(tmp_path)
+        assert update.passed
+        assert set(update.updated) == set(default_golden_cases())
+        assert verify.passed and not verify.updated
+
+    def test_tampered_pin_is_caught_and_named(self, tmp_path):
+        with use_registry(MetricsRegistry()):
+            run_golden_suite(tmp_path, update=True)
+            path = trace_path(tmp_path, "comp_chain")
+            payload = json.loads(path.read_text())
+            payload["records"][0]["workload"] += 1
+            path.write_text(json.dumps(payload))
+            report = run_golden_suite(tmp_path)
+        assert not report.passed
+        assert report.diffs["comp_chain"]
+        assert "records[0].workload" in report.diffs["comp_chain"][0]
+        # The other cases are unaffected.
+        assert not report.diffs["racing_group"]
+
+    def test_suite_telemetry(self, tmp_path):
+        with use_registry(MetricsRegistry()) as registry:
+            run_golden_suite(tmp_path)  # all missing -> all fail
+        counters = {
+            c["name"]: c["value"] for c in registry.snapshot()["counters"]
+        }
+        assert counters["validation_golden_cases_total"] == len(
+            default_golden_cases()
+        )
+        assert counters["validation_suite_failures_total"] == 1
+        spans = [s["name"] for s in registry.snapshot()["spans"]]
+        assert "validation.golden" in spans
+
+    def test_case_name_mismatch_is_a_config_error(self, tmp_path):
+        with use_registry(MetricsRegistry()):
+            with pytest.raises(ConfigError, match="named"):
+                run_golden_suite(
+                    tmp_path, cases={"wrong_name": lambda: _trace()}
+                )

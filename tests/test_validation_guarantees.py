@@ -1,0 +1,171 @@
+"""Unit tests for the empirical guarantee checker.
+
+The acceptance-grade run (200 replications per cell) lives behind
+``crowd-topk validate --suite guarantees`` and the nightly CI leg; these
+tests pin the machinery around it — the Wilson interval algebra, the
+pass/fail framing, determinism across worker counts, and the telemetry
+it emits — at replication counts small enough for the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.spr import expected_precision_lower_bound
+from repro.errors import ConfigError
+from repro.telemetry import MetricsRegistry, use_registry
+from repro.validation import run_guarantee_suite, wilson_interval
+from repro.validation import guarantees as guarantees_mod
+from repro.validation.guarantees import (
+    DEFAULT_ALPHAS,
+    _WILSON_Z,
+    _max_failure_rate,
+    _ReplicationOutcome,
+)
+
+
+def _counter_map(registry: MetricsRegistry) -> dict:
+    return {
+        (c["name"], tuple(sorted(c["labels"].items()))): c["value"]
+        for c in registry.snapshot()["counters"]
+    }
+
+
+class TestWilsonInterval:
+    def test_matches_closed_form(self):
+        failures, trials = 3, 200
+        p = failures / trials
+        z2n = _WILSON_Z * _WILSON_Z / trials
+        center = p + z2n / 2.0
+        margin = _WILSON_Z * math.sqrt(
+            p * (1.0 - p) / trials + z2n / (4.0 * trials)
+        )
+        low, high = wilson_interval(failures, trials)
+        assert low == pytest.approx((center - margin) / (1.0 + z2n))
+        assert high == pytest.approx((center + margin) / (1.0 + z2n))
+
+    def test_zero_failures_has_positive_upper_bound(self):
+        # The whole point of Wilson over Wald: 0/n is not "certainty".
+        low, high = wilson_interval(0, 200)
+        assert low == pytest.approx(0.0, abs=1e-12)
+        assert 0.0 < high < 0.05
+        assert wilson_interval(0, 5)[1] > 0.4  # tiny n stays inconclusive
+
+    def test_bounds_stay_in_unit_interval(self):
+        for failures, trials in [(0, 1), (1, 1), (5, 5), (1, 3)]:
+            low, high = wilson_interval(failures, trials)
+            assert 0.0 <= low <= failures / trials <= high <= 1.0
+
+    def test_mirror_symmetry(self):
+        # Successes and failures are interchangeable labels.
+        low, high = wilson_interval(3, 20)
+        mlow, mhigh = wilson_interval(17, 20)
+        assert mlow == pytest.approx(1.0 - high)
+        assert mhigh == pytest.approx(1.0 - low)
+
+    def test_upper_bound_shrinks_with_trials(self):
+        highs = [wilson_interval(0, n)[1] for n in (10, 50, 200, 1000)]
+        assert all(a > b for a, b in zip(highs, highs[1:]))
+
+    def test_non_default_confidence_widens(self):
+        low95, high95 = wilson_interval(2, 100)
+        low99, high99 = wilson_interval(2, 100, confidence=0.99)
+        assert low99 <= low95 and high99 >= high95
+
+    @pytest.mark.parametrize(
+        "failures, trials, confidence",
+        [(0, 0, 0.95), (-1, 10, 0.95), (11, 10, 0.95), (1, 10, 1.5)],
+    )
+    def test_rejects_invalid_inputs(self, failures, trials, confidence):
+        with pytest.raises(ConfigError):
+            wilson_interval(failures, trials, confidence)
+
+
+class TestGuaranteeFraming:
+    def test_spr_bound_comes_from_section_5_4(self):
+        for alpha in DEFAULT_ALPHAS:
+            expected = 1.0 - expected_precision_lower_bound(alpha, 1.5)
+            assert _max_failure_rate("spr_recall", alpha) == pytest.approx(expected)
+            assert _max_failure_rate("comparison", alpha) == alpha
+            assert _max_failure_rate("partition", alpha) == alpha
+
+    def test_unknown_check_rejected(self):
+        with pytest.raises(ConfigError, match="unknown guarantee check"):
+            run_guarantee_suite(checks=("typo",), replications=1)
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -0.1])
+    def test_bad_alpha_rejected(self, alpha):
+        with pytest.raises(ConfigError, match="alpha"):
+            run_guarantee_suite(alphas=(alpha,), replications=1)
+
+    def test_zero_replications_rejected(self):
+        with pytest.raises(ConfigError, match="replications"):
+            run_guarantee_suite(replications=0)
+
+
+class TestSuiteExecution:
+    REPS = 8  # enough for real trials, small enough for tier 1
+
+    def test_report_structure_and_telemetry(self):
+        with use_registry(MetricsRegistry()) as registry:
+            report = run_guarantee_suite(
+                alphas=(0.05,), replications=self.REPS, checks=("comparison",)
+            )
+        assert len(report.checks) == 1
+        check = report.checks[0]
+        assert check.replications == self.REPS
+        assert check.trials >= self.REPS - check.extras["ties"]
+        assert 0 <= check.failures <= check.trials
+        assert check.empirical_rate == check.failures / check.trials
+        assert check.passed == (check.wilson_high <= check.max_failure_rate)
+        payload = report.to_dict()
+        assert payload["suite"] == "guarantees"
+        assert payload["checks"][0]["ties"] == check.extras["ties"]
+        counters = _counter_map(registry)
+        key = ("validation_replications_total", (("check", "comparison"),))
+        assert counters[key] == self.REPS
+        # The merged per-replication crowd metrics land here too.
+        assert counters[("crowd_comparisons_total", ())] >= self.REPS
+        spans = [s["name"] for s in registry.snapshot()["spans"]]
+        assert "validation.guarantees" in spans
+
+    def test_same_seed_reproduces_bit_for_bit(self):
+        kwargs = dict(alphas=(0.1,), replications=self.REPS, checks=("comparison",))
+        with use_registry(MetricsRegistry()):
+            first = run_guarantee_suite(seed=3, **kwargs)
+        with use_registry(MetricsRegistry()):
+            second = run_guarantee_suite(seed=3, **kwargs)
+            shifted = run_guarantee_suite(seed=4, **kwargs)
+        assert first.to_dict() == second.to_dict()
+        assert first.to_dict() != shifted.to_dict()
+
+    def test_parallel_matches_serial_including_telemetry(self):
+        kwargs = dict(alphas=(0.05,), replications=6, checks=("comparison",))
+        with use_registry(MetricsRegistry()) as serial_reg:
+            serial = run_guarantee_suite(n_jobs=1, **kwargs)
+        with use_registry(MetricsRegistry()) as pooled_reg:
+            pooled = run_guarantee_suite(n_jobs=2, **kwargs)
+        assert serial.to_dict() == pooled.to_dict()
+        assert _counter_map(serial_reg) == _counter_map(pooled_reg)
+
+    def test_breach_is_reported_not_raised(self, monkeypatch):
+        # A scenario that always fails must flip the cell and the suite to
+        # FAIL and bump the suite-failure counter — never raise.
+        def always_wrong(alpha, rng):
+            return _ReplicationOutcome(trials=1, failures=1, cost=0, ties=0)
+
+        monkeypatch.setitem(guarantees_mod._SCENARIOS, "comparison", always_wrong)
+        with use_registry(MetricsRegistry()) as registry:
+            report = run_guarantee_suite(
+                alphas=(0.05,), replications=5, checks=("comparison",)
+            )
+        check = report.checks[0]
+        assert check.failures == check.trials == 5
+        assert check.wilson_high > check.max_failure_rate
+        assert not check.passed and not report.passed
+        assert "FAIL" in report.to_text()
+        counters = _counter_map(registry)
+        assert counters[("validation_suite_failures_total", (("suite", "guarantees"),))] == 1
+        assert counters[("validation_guarantee_failures_total", (("check", "comparison"),))] == 5

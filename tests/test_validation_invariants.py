@@ -1,0 +1,225 @@
+"""Unit tests for the runtime invariant engine.
+
+Each test corrupts exactly one account (a record field, an unmetered
+ledger charge, an overlapping partition) and asserts the engine names the
+broken invariant — the clean-run suite at the end is the acceptance
+criterion that a full SPR query trips none of them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.outcomes import Outcome
+from repro.core.spr.partition import PartitionResult
+from repro.telemetry import MetricsRegistry, use_registry
+from repro.validation import (
+    InvariantEngine,
+    InvariantViolation,
+    run_invariant_suite,
+)
+
+from tests.conftest import make_latent_session
+
+
+def _violated(engine: InvariantEngine) -> set:
+    return {r.name for r in engine.report().violations}
+
+
+def _clean_record(session):
+    record = session.compare(0, 4)
+    assert record.outcome is not Outcome.TIE
+    return record
+
+
+class TestCheckCore:
+    def test_strict_raises_and_collect_records(self):
+        strict = InvariantEngine(strict=True)
+        with pytest.raises(InvariantViolation, match="broken: detail"):
+            strict.check("broken", False, "detail")
+        collect = InvariantEngine(strict=False)
+        assert collect.check("broken", False, "detail") is False
+        assert collect.check("fine", True) is True
+        report = collect.report()
+        assert not report.passed
+        assert [r.name for r in report.violations] == ["broken"]
+
+    def test_soft_failures_warn_but_never_fail(self):
+        engine = InvariantEngine(strict=True)
+        assert engine.check("advisory", False, "off target", soft=True) is False
+        report = engine.report()
+        assert report.passed  # soft misses do not fail the suite
+        assert [r.name for r in report.warnings] == ["advisory"]
+
+    def test_check_emits_telemetry(self):
+        with use_registry(MetricsRegistry()) as registry:
+            engine = InvariantEngine(strict=False)
+            engine.check("metered", True)
+            engine.check("metered", False, "nope")
+        counters = {
+            (c["name"], c["labels"].get("invariant")): c["value"]
+            for c in registry.snapshot()["counters"]
+        }
+        assert counters[("validation_invariant_checks_total", "metered")] == 2
+        assert counters[("validation_invariant_violations_total", "metered")] == 1
+
+    def test_violation_is_an_assertion_error(self):
+        # pytest.raises(AssertionError) must catch it in downstream suites.
+        assert issubclass(InvariantViolation, AssertionError)
+
+
+class TestRecordAudits:
+    def _audit(self, record, session) -> set:
+        engine = InvariantEngine(strict=False)
+        engine.on_compare(session, record)
+        return _violated(engine)
+
+    def test_clean_record_passes(self):
+        session = make_latent_session([0.0, 1.0, 2.0, 3.0, 8.0], seed=5)
+        record = _clean_record(session)
+        assert self._audit(record, session) == set()
+
+    def test_cost_above_workload_flagged(self):
+        session = make_latent_session([0.0, 1.0, 2.0, 3.0, 8.0], seed=5)
+        record = _clean_record(session)
+        broken = dataclasses.replace(record, cost=record.workload + 1)
+        assert "record_cost_within_workload" in self._audit(broken, session)
+
+    def test_workload_above_budget_flagged(self):
+        session = make_latent_session([0.0, 1.0, 2.0, 3.0, 8.0], seed=5)
+        record = _clean_record(session)
+        over = session.config.effective_budget + 1
+        broken = dataclasses.replace(record, workload=over, cost=0)
+        assert "record_budget_respected" in self._audit(broken, session)
+
+    def test_tie_below_budget_flagged(self):
+        session = make_latent_session([0.0, 1.0, 2.0, 3.0, 8.0], seed=5)
+        record = _clean_record(session)
+        fake_tie = dataclasses.replace(record, outcome=Outcome.TIE)
+        assert "tie_exhausts_budget" in self._audit(fake_tie, session)
+
+    def test_winner_contradicting_mean_flagged(self):
+        session = make_latent_session([0.0, 1.0, 2.0, 3.0, 8.0], seed=5)
+        record = _clean_record(session)
+        # winner is derived from outcome; flipping the mean's sign makes
+        # the verdict contradict the sample evidence.
+        flipped = dataclasses.replace(record, mean=-record.mean)
+        assert "winner_matches_mean" in self._audit(flipped, session)
+
+
+class TestAttachReconciliation:
+    def test_clean_session_reconciles(self):
+        with use_registry(MetricsRegistry()):
+            session = make_latent_session([0.0, 2.0, 4.0, 6.0, 8.0], seed=11)
+            engine = InvariantEngine(strict=True)
+            with engine.attach(session):
+                session.compare(0, 4)
+                session.compare_many([(1, 3), (2, 0)])
+        report = engine.report()
+        assert report.passed
+        names = {r.name for r in report.results}
+        assert {
+            "ledger_matches_telemetry",
+            "draws_cover_spend",
+            "spend_lands_in_cache",
+            "records_within_ledger",
+        } <= names
+
+    def test_unmetered_charge_breaks_reconciliation(self):
+        # Charging the ledger behind telemetry's back is exactly the class
+        # of bug the attach audit exists to catch.
+        with use_registry(MetricsRegistry()):
+            session = make_latent_session([0.0, 2.0, 4.0], seed=11)
+            engine = InvariantEngine(strict=False)
+            with engine.attach(session, expect_cached_draws=False):
+                session.compare(0, 2)
+                session.cost.charge(7)  # bypasses the counter and the cache
+        assert "ledger_matches_telemetry" in _violated(engine)
+
+    def test_uncached_spend_flagged_when_expected(self):
+        with use_registry(MetricsRegistry()):
+            session = make_latent_session([0.0, 2.0, 4.0], seed=11)
+            engine = InvariantEngine(strict=False)
+            with engine.attach(session, expect_cached_draws=True):
+                # charge_cost meters telemetry but puts nothing in the cache
+                session.charge_cost(3)
+        assert "spend_lands_in_cache" in _violated(engine)
+        assert "ledger_matches_telemetry" not in _violated(engine)
+
+    def test_listener_removed_after_region(self):
+        with use_registry(MetricsRegistry()):
+            session = make_latent_session([0.0, 2.0, 4.0, 6.0, 8.0], seed=11)
+            engine = InvariantEngine(strict=True)
+            with engine.attach(session):
+                session.compare(0, 4)
+            audited = len(engine.results)
+            session.compare(1, 3)  # outside the region: not audited
+            assert len(engine.results) == audited
+
+
+class TestStructuralChecks:
+    def _partition(self, **overrides) -> PartitionResult:
+        base = dict(
+            winners=(0, 1), ties=(2,), losers=(3, 4),
+            reference=4, reference_changes=0, cost=10, rounds=2,
+        )
+        base.update(overrides)
+        return PartitionResult(**base)
+
+    def test_partition_clean(self):
+        engine = InvariantEngine(strict=False)
+        assert engine.check_partition(self._partition(), range(5))
+        assert engine.report().passed
+
+    def test_partition_overlap_and_coverage_flagged(self):
+        engine = InvariantEngine(strict=False)
+        engine.check_partition(self._partition(ties=(2, 0)), range(5))
+        assert "partition_no_overlap" in _violated(engine)
+        engine = InvariantEngine(strict=False)
+        engine.check_partition(self._partition(losers=(3,)), range(5))
+        assert "partition_exhaustive" in _violated(engine)
+
+    def test_partition_reference_must_be_decided(self):
+        engine = InvariantEngine(strict=False)
+        engine.check_partition(
+            self._partition(ties=(2, 4), losers=(3,)), range(5)
+        )
+        assert "partition_reference_placed" in _violated(engine)
+
+    def test_sweet_spot_is_soft_even_in_strict_mode(self):
+        engine = InvariantEngine(strict=True)
+        scores = np.arange(10, dtype=float)
+        # Item 9 is rank 1 — far above the [k, ck] sweet spot for k=3.
+        assert engine.check_sweet_spot(scores, reference=9, k=3, c=1.5) is False
+        report = engine.report()
+        assert report.passed and len(report.warnings) == 1
+        # The true rank-k item sits inside the window.
+        assert engine.check_sweet_spot(scores, reference=7, k=3, c=1.5) is True
+
+    def test_cache_moments_detects_corruption(self):
+        session = make_latent_session([0.0, 2.0, 4.0], seed=3)
+        session.compare(0, 2)
+        engine = InvariantEngine(strict=False)
+        assert engine.check_cache_moments(session.cache)
+        # Corrupt one running sum and the audit must notice.
+        bag = next(iter(session.cache._bags.values()))
+        bag.s1 += 1.0
+        engine = InvariantEngine(strict=False)
+        assert not engine.check_cache_moments(session.cache)
+
+
+class TestInvariantSuite:
+    def test_full_spr_queries_run_clean(self):
+        # The acceptance criterion: zero hard violations over real queries.
+        with use_registry(MetricsRegistry()) as registry:
+            report = run_invariant_suite(seed=0, queries=2, n_items=14, k=3)
+        assert report.passed
+        assert not report.violations
+        payload = report.to_dict()
+        assert payload["suite"] == "invariants"
+        assert payload["checks"] > 100  # real per-record coverage, not a stub
+        spans = [s["name"] for s in registry.snapshot()["spans"]]
+        assert "validation.invariants" in spans
