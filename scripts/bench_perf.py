@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Performance benchmarks: parallel runner and group-comparison engine.
 
-Two suites, both selectable via ``--suite`` (default ``all``):
+Three suites, all selectable via ``--suite`` (default ``all``):
 
 ``runner``
     Times one fixed workload — ``run_methods`` over several
@@ -19,11 +19,20 @@ Two suites, both selectable via ``--suite`` (default ``all``):
     draw the same judgment distribution, so total microtasks must agree
     within a few percent while wall time should not.
 
+``faults``
+    Prices the resilience machinery itself.  Three legs over one racing
+    group: a plain session, the same session routed through a zero-rate
+    ``FaultInjector`` with ``force=True`` (the fault-aware delivery path
+    with no faults — results must be identical and the wall-time overhead
+    must stay **under 5%**), and an informational leg with realistic fault
+    rates.  Writes ``BENCH_fault_overhead.json``.
+
 Usage::
 
-    PYTHONPATH=src python scripts/bench_perf.py             # both suites
+    PYTHONPATH=src python scripts/bench_perf.py             # all suites
     PYTHONPATH=src python scripts/bench_perf.py --quick     # CI-size
     PYTHONPATH=src python scripts/bench_perf.py --suite group --group-pairs 500
+    PYTHONPATH=src python scripts/bench_perf.py --suite faults
 
 Runner speedup scales with available cores; group-engine speedup is
 core-independent (it removes Python interpreter overhead, not work).  The
@@ -46,8 +55,13 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np  # noqa: E402
 
-from repro.config import ComparisonConfig  # noqa: E402
+from repro.config import (  # noqa: E402
+    ComparisonConfig,
+    FaultPolicy,
+    ResiliencePolicy,
+)
 from repro.core.outcomes import Outcome  # noqa: E402
+from repro.crowd.faults import FaultInjector  # noqa: E402
 from repro.crowd.oracle import LatentScoreOracle  # noqa: E402
 from repro.crowd.session import CrowdSession  # noqa: E402
 from repro.crowd.workers import GaussianNoise  # noqa: E402
@@ -57,6 +71,7 @@ from repro.telemetry import MetricsRegistry, use_registry  # noqa: E402
 _ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = _ROOT / "BENCH_parallel_runner.json"
 GROUP_OUTPUT = _ROOT / "BENCH_group_engine.json"
+FAULT_OUTPUT = _ROOT / "BENCH_fault_overhead.json"
 
 #: The fixed workload: every method is confidence-aware and mid-cost, the
 #: cell is big enough that each run does real work (~seconds total).
@@ -100,8 +115,10 @@ def _host() -> dict:
     }
 
 
-def _group_session(engine: str, n_pairs: int, seed: int = 0) -> CrowdSession:
-    """A fresh session over ``2 * n_pairs`` items with mixed pair difficulty.
+def _group_fixture(
+    engine: str, n_pairs: int
+) -> tuple[LatentScoreOracle, ComparisonConfig]:
+    """Oracle + config over ``2 * n_pairs`` items with mixed pair difficulty.
 
     Score gaps cycle through easy (decided at the cold start) to hard
     (dozens of samples), so the group races realistically rather than
@@ -115,6 +132,11 @@ def _group_session(engine: str, n_pairs: int, seed: int = 0) -> CrowdSession:
         confidence=0.95, budget=150, min_workload=5, batch_size=10,
         group_engine=engine,
     )
+    return oracle, config
+
+
+def _group_session(engine: str, n_pairs: int, seed: int = 0) -> CrowdSession:
+    oracle, config = _group_fixture(engine, n_pairs)
     return CrowdSession(oracle, config, seed=seed)
 
 
@@ -177,9 +199,123 @@ def bench_group(args) -> int:
     return 0
 
 
+def bench_faults(args) -> int:
+    """Price the fault-aware delivery path against the historical one.
+
+    The zero-rate ``force=True`` leg runs the exact same judgments through
+    the resilience machinery — identical results are a correctness gate,
+    the wall-time ratio is the overhead the machinery costs a healthy
+    platform.  Timings take the best of several repetitions to shed
+    scheduler noise.
+    """
+    # Wall times below ~50ms are scheduler noise; the faults suite needs a
+    # bigger group than the engine-comparison one to measure a few-percent
+    # overhead meaningfully.
+    n_pairs = args.fault_pairs if not args.quick else max(args.fault_pairs // 4, 500)
+    pairs = [(2 * i + 1, 2 * i) for i in range(n_pairs)]
+    repeats = 3 if args.quick else 7
+
+    def plain():
+        return _group_session("racing", n_pairs)
+
+    def forced():
+        oracle, config = _group_fixture("racing", n_pairs)
+        return CrowdSession(
+            FaultInjector(oracle, FaultPolicy(), force=True), config, seed=0
+        )
+
+    def faulty():
+        oracle, config = _group_fixture("racing", n_pairs)
+        policy = FaultPolicy(
+            timeout_rate=0.05, loss_rate=0.025, duplicate_rate=0.02,
+            outage_rate=0.01, seed=0,
+        )
+        config = config.with_(resilience=ResiliencePolicy(fault=policy))
+        return CrowdSession(oracle, config, seed=0)  # session auto-wraps
+
+    def one_run(make_session) -> tuple[float, dict]:
+        session = make_session()
+        started = time.perf_counter()
+        records = session.compare_many(pairs)
+        elapsed = time.perf_counter() - started
+        return elapsed, {
+            "microtasks": session.total_cost,
+            "rounds": session.total_rounds,
+            "decided": sum(1 for r in records if r.outcome is not Outcome.TIE),
+        }
+
+    # Interleave the legs so allocator/numpy warm-up and CPU frequency
+    # drift hit all of them equally; one untimed warm-up pass first, then
+    # best-of-N per leg.
+    builders = {
+        "plain": plain, "forced_zero_fault": forced, "faulty": faulty,
+    }
+    print(f"faults legs ({n_pairs} pairs, interleaved best of {repeats}) ...",
+          flush=True)
+    legs: dict[str, dict] = {}
+    times: dict[str, list[float]] = {name: [] for name in builders}
+    for name, make_session in builders.items():
+        one_run(make_session)  # warm-up, untimed
+    for _ in range(repeats):
+        for name, make_session in builders.items():
+            elapsed, summary = one_run(make_session)
+            times[name].append(elapsed)
+            if name not in legs or elapsed < legs[name]["seconds"]:
+                summary["seconds"] = elapsed
+                legs[name] = summary
+    for name, summary in legs.items():
+        summary["seconds"] = round(summary["seconds"], 4)
+        print(f"  {name}: {summary['seconds']:.3f}s, "
+              f"{summary['microtasks']:,} microtasks, "
+              f"{summary['rounds']} rounds, {summary['decided']} decided")
+
+    identical = all(
+        legs["plain"][key] == legs["forced_zero_fault"][key]
+        for key in ("microtasks", "rounds", "decided")
+    )
+    # Median of per-repetition pairwise ratios: each repetition times both
+    # paths back to back, so CPU frequency drift and allocator state cancel
+    # inside the ratio, and the median sheds scheduler outliers.
+    ratios = sorted(
+        forced / plain
+        for forced, plain in zip(times["forced_zero_fault"], times["plain"])
+        if plain > 0
+    )
+    overhead = ratios[len(ratios) // 2] - 1.0 if ratios else float("inf")
+    overhead_ok = overhead < 0.05
+    payload = {
+        "benchmark": "fault_overhead",
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "host": _host(),
+        "workload": (
+            f"compare_many over one {n_pairs}-pair racing group "
+            "(gaps cycling 0.25/0.5/1.0/2.0, sigma=1.0, B=150, I=5, eta=10)"
+        ),
+        "repeats": repeats,
+        "legs": legs,
+        "zero_fault_results_identical": identical,
+        "zero_fault_overhead": round(overhead, 4),
+        "overhead_under_5pct": overhead_ok,
+    }
+    args.fault_output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"zero-fault overhead: {overhead * 100:.2f}% "
+        f"(identical results: {identical}) -> {args.fault_output}"
+    )
+    if not identical:
+        print("error: forced zero-fault leg diverges from the plain path",
+              file=sys.stderr)
+        return 1
+    if not overhead_ok:
+        print("error: resilience machinery costs >= 5% on a healthy platform",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("all", "runner", "group"),
+    parser.add_argument("--suite", choices=("all", "runner", "group", "faults"),
                         default="all", help="which benchmark(s) to run")
     parser.add_argument("--jobs", type=int, default=4,
                         help="worker processes for the parallel leg (default 4)")
@@ -193,11 +329,21 @@ def main(argv=None) -> int:
                         help="pairs in the group-engine benchmark (default 500)")
     parser.add_argument("--group-output", type=pathlib.Path,
                         default=GROUP_OUTPUT)
+    parser.add_argument("--fault-pairs", type=int, default=4000,
+                        help="pairs in the fault-overhead benchmark "
+                        "(default 4000; --quick quarters it)")
+    parser.add_argument("--fault-output", type=pathlib.Path,
+                        default=FAULT_OUTPUT)
     args = parser.parse_args(argv)
 
     if args.suite in ("all", "group"):
         status = bench_group(args)
         if status or args.suite == "group":
+            return status
+
+    if args.suite in ("all", "faults"):
+        status = bench_faults(args)
+        if status or args.suite == "faults":
             return status
 
     n_runs = args.runs if args.runs is not None else (8 if args.quick else 16)

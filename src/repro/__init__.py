@@ -31,7 +31,14 @@ from .algorithms import (
     quickselect_topk,
     tournament_topk,
 )
-from .config import ComparisonConfig, SPRConfig
+from .config import (
+    ComparisonConfig,
+    FaultPolicy,
+    ResiliencePolicy,
+    RetryPolicy,
+    SPRConfig,
+    default_resilience,
+)
 from .core import Comparator, ComparisonRecord, ItemSet, JudgmentCache, Outcome
 from .core.spr import (
     PartitionResult,
@@ -39,18 +46,21 @@ from .core.spr import (
     SelectionResult,
     partition,
     reference_sort,
+    resume_spr_topk,
     select_reference,
     spr_topk,
 )
 from .crowd import (
     BinaryOracle,
     CrowdSession,
+    FaultInjector,
     HistogramOracle,
     JudgmentOracle,
     LatentScoreOracle,
     RacingPool,
     RecordDatabaseOracle,
     UserTableOracle,
+    race_group,
 )
 from .datasets import DATASET_NAMES, Dataset, load_dataset
 from .errors import (
@@ -62,7 +72,14 @@ from .errors import (
     OracleError,
 )
 from .metrics import kendall_tau, ndcg_at_k, top_k_precision, top_k_recall
-from .persistence import cache_from_json, cache_to_json, load_cache, save_cache
+from .persistence import (
+    cache_from_json,
+    cache_to_json,
+    load_cache,
+    load_checkpoint,
+    save_cache,
+    save_checkpoint,
+)
 from .planner import QueryPlan, plan_query
 from .telemetry import (
     JsonlSink,
@@ -72,6 +89,7 @@ from .telemetry import (
     use_registry,
 )
 from .tracing import QueryTrace, trace_session
+from .validation import run_golden_suite, run_guarantee_suite, run_invariant_suite
 
 __version__ = "1.0.0"
 
@@ -89,6 +107,8 @@ __all__ = [
     "DATASET_NAMES",
     "Dataset",
     "DatasetError",
+    "FaultInjector",
+    "FaultPolicy",
     "HistogramOracle",
     "ItemSet",
     "JsonlSink",
@@ -101,6 +121,8 @@ __all__ = [
     "PartitionResult",
     "RacingPool",
     "RecordDatabaseOracle",
+    "ResiliencePolicy",
+    "RetryPolicy",
     "SPRConfig",
     "SPRResult",
     "SelectionResult",
@@ -118,17 +140,25 @@ __all__ = [
     "QueryTrace",
     "cache_from_json",
     "cache_to_json",
+    "default_resilience",
     "get_registry",
     "load_cache",
+    "load_checkpoint",
     "partition",
     "plan_query",
+    "race_group",
+    "run_golden_suite",
+    "run_guarantee_suite",
+    "run_invariant_suite",
     "save_cache",
+    "save_checkpoint",
     "set_registry",
     "trace_session",
     "use_registry",
     "pbr_topk",
     "quickselect_topk",
     "reference_sort",
+    "resume_spr_topk",
     "select_reference",
     "spr_topk",
     "top_k_precision",

@@ -15,6 +15,8 @@ Examples::
     crowd-topk query --dataset jester --method spr -k 10 --seed 7
     crowd-topk query --dataset imdb --method heapsort -k 5 --n-items 200
     crowd-topk query --method spr --telemetry /tmp/query.jsonl
+    crowd-topk query --method spr --checkpoint /tmp/q.ckpt
+    crowd-topk query --method spr --checkpoint /tmp/q.ckpt --resume
     crowd-topk -v experiment table7 --runs 3
     crowd-topk experiment fig8 --dataset book --runs 2
     crowd-topk experiment fig9 --runs 10 --jobs 4
@@ -40,6 +42,8 @@ from collections.abc import Sequence
 
 from . import __version__
 from .algorithms import ALGORITHMS
+from .core.spr import resume_spr_topk
+from .crowd.session import CrowdSession
 from .datasets import DATASET_NAMES, load_dataset
 from .experiments import (
     ExperimentParams,
@@ -116,6 +120,20 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--telemetry", metavar="PATH", default=None,
         help="write phase spans and a metrics snapshot to a JSONL file",
+    )
+    query.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="atomically checkpoint the query to PATH at partition round "
+        "boundaries (SPR only); pair with --resume to continue a killed run",
+    )
+    query.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="ROUNDS",
+        help="latency rounds between checkpoints (default 1)",
+    )
+    query.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint instead of starting fresh; the "
+        "resumed query reaches the identical top-k at identical total cost",
     )
 
     plan = commands.add_parser(
@@ -202,17 +220,15 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    params = ExperimentParams(
-        dataset=args.dataset,
-        n_items=args.n_items,
-        k=args.k,
-        confidence=args.confidence,
-        budget=args.budget,
-        n_runs=1,
-        seed=args.seed,
-    )
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    if args.resume and args.method != "spr":
+        print("error: --resume only supports --method spr", file=sys.stderr)
+        return 2
     dataset = load_dataset(args.dataset)
     working = dataset.sample_items(args.n_items)
+    k = args.k
     sink = JsonlSink(args.telemetry) if args.telemetry else None
     if sink is not None:
         try:
@@ -227,21 +243,52 @@ def _cmd_query(args: argparse.Namespace) -> int:
     with use_registry(MetricsRegistry()) as registry:
         if sink is not None:
             registry.add_listener(sink.write_event)
-        session = dataset.session(params.comparison_config(), seed=args.seed)
-        algorithm = ALGORITHMS[args.method]
-        outcome = algorithm(session, working.ids.tolist(), args.k)
+        if args.resume:
+            try:
+                session = CrowdSession.restore(args.checkpoint, dataset.oracle)
+            except (OSError, ValueError) as exc:
+                print(f"error: cannot resume from {args.checkpoint}: {exc}",
+                      file=sys.stderr)
+                return 1
+            spr_state = (session.restored_state or {}).get("query", {}).get("spr")
+            if spr_state is None:
+                print(f"error: {args.checkpoint} holds no resumable SPR query",
+                      file=sys.stderr)
+                return 1
+            # The original working set and k come from the checkpoint, so a
+            # resumed query answers exactly the question the killed one asked.
+            working = dataset.items.restrict(spr_state["items"])
+            k = int(spr_state["k"])
+            session.enable_checkpoints(args.checkpoint, args.checkpoint_every)
+            outcome = resume_spr_topk(session)
+        else:
+            params = ExperimentParams(
+                dataset=args.dataset,
+                n_items=args.n_items,
+                k=args.k,
+                confidence=args.confidence,
+                budget=args.budget,
+                n_runs=1,
+                seed=args.seed,
+            )
+            session = dataset.session(params.comparison_config(), seed=args.seed)
+            if args.checkpoint:
+                session.enable_checkpoints(args.checkpoint, args.checkpoint_every)
+            algorithm = ALGORITHMS[args.method]
+            outcome = algorithm(session, working.ids.tolist(), k)
         if sink is not None:
             sink.write_snapshot(registry)
             sink.close()
 
-    print(f"top-{args.k} by {args.method} on {args.dataset} "
-          f"(N={len(working)}, 1-a={args.confidence}, B={args.budget}):")
+    print(f"top-{k} by {args.method} on {args.dataset} "
+          f"(N={len(working)}, 1-a={session.config.confidence}, "
+          f"B={session.config.budget}):")
     for position, item in enumerate(outcome.topk, start=1):
         print(f"  {position:3d}. {working.label_of(item)} "
               f"(true rank {working.rank_of(item)})")
     print(f"TMC: {outcome.cost:,} microtasks | latency: {outcome.rounds:,} rounds")
-    print(f"NDCG@{args.k}: {ndcg_at_k(working, outcome.topk, args.k):.3f} | "
-          f"precision: {top_k_precision(working, outcome.topk, args.k):.2f}")
+    print(f"NDCG@{k}: {ndcg_at_k(working, outcome.topk, k):.3f} | "
+          f"precision: {top_k_precision(working, outcome.topk, k):.2f}")
     if sink is not None:
         print()
         print(registry.summary_table())

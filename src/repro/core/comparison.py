@@ -172,14 +172,26 @@ class Comparator:
         cost = 0
         rounds = 0
         judgments_drawn = self._judgments_counter()
-        while decision is None and tester.n < budget:
-            chunk = min(config.batch_size, budget - tester.n)
-            values = self.oracle.draw(i, j, chunk, rng)
-            judgments_drawn.inc(chunk)
-            consumed, decision = tester.scan(values)
-            self.cache.append(i, j, values[:consumed])
-            cost += consumed
-            rounds += 1
+        injector = self._active_injector()
+        if injector is not None:
+            cost, rounds, decision = self._faulty_buy(
+                i, j, rng, tester, budget, decision, injector
+            )
+        else:
+            deadline = config.resilience.retry.deadline_rounds
+            while decision is None and tester.n < budget:
+                if deadline is not None and rounds >= deadline:
+                    get_registry().counter(
+                        "crowd_degraded_ties_total", reason="deadline"
+                    ).inc()
+                    break
+                chunk = min(config.batch_size, budget - tester.n)
+                values = self.oracle.draw(i, j, chunk, rng)
+                judgments_drawn.inc(chunk)
+                consumed, decision = tester.scan(values)
+                self.cache.append(i, j, values[:consumed])
+                cost += consumed
+                rounds += 1
         if decision is None and logger.isEnabledFor(logging.DEBUG):
             logger.debug(
                 "budget tie: COMP(%d, %d) undecided after %d samples (B=%d)",
@@ -198,6 +210,69 @@ class Comparator:
             mean=state.mean if state.n else math.nan,
             std=std,
         )
+
+    def _active_injector(self):
+        """The session's fault injector, when faults are actually enabled."""
+        from ..crowd.faults import FaultInjector  # deferred: crowd imports core
+
+        oracle = self.oracle
+        if isinstance(oracle, FaultInjector) and oracle.enabled:
+            return oracle
+        return None
+
+    def _faulty_buy(
+        self,
+        i: int,
+        j: int,
+        rng: np.random.Generator,
+        tester,
+        budget: int,
+        decision: int | None,
+        injector,
+    ) -> tuple[int, int, int | None]:
+        """The buy loop against a faulty platform: consume what arrives.
+
+        Mirrors the racing pool's semantics for a single pair: lost tasks
+        are never consumed, charged, or cached; delivery-free rounds go
+        through the :class:`~repro.config.RetryPolicy` (backoff waits burn
+        latency rounds); ``max_attempts`` delivery-free rounds in a row or
+        a passed ``deadline_rounds`` degrade the pair to a tie with the
+        same undecided semantics as budget exhaustion.
+        """
+        config = self.config
+        retry = config.resilience.retry
+        deadline = retry.deadline_rounds
+        judgments_drawn = self._judgments_counter()
+        registry = get_registry()
+        cost = 0
+        rounds = 0
+        failures = 0
+        while decision is None and tester.n < budget:
+            if deadline is not None and rounds >= deadline:
+                registry.counter(
+                    "crowd_degraded_ties_total", reason="deadline"
+                ).inc()
+                break
+            chunk = min(config.batch_size, budget - tester.n)
+            values, drawn = injector.deliver(i, j, chunk, rng)
+            if drawn:
+                judgments_drawn.inc(drawn)
+            rounds += 1
+            if values.size == 0:
+                failures += 1
+                if failures >= retry.max_attempts:
+                    registry.counter(
+                        "crowd_degraded_ties_total", reason="retries"
+                    ).inc()
+                    break
+                registry.counter("crowd_retries_total").inc()
+                rounds += retry.backoff_rounds(failures)  # idle wait
+                continue
+            failures = 0
+            consumed, decision = tester.scan(values[: budget - tester.n])
+            self.cache.append(i, j, values[:consumed])
+            cost += consumed
+        return cost, rounds, decision
 
     def moments(self, i: int, j: int) -> tuple[int, float, float]:
         """``(n, mean, variance)`` of the stored bag for ``(i, j)``."""

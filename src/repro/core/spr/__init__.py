@@ -3,7 +3,12 @@
 from .partition import PartitionResult, partition
 from .rank import reference_sort, thurstone_order
 from .select import SelectionResult, select_reference
-from .spr import SPRResult, expected_precision_lower_bound, spr_topk
+from .spr import (
+    SPRResult,
+    expected_precision_lower_bound,
+    resume_spr_topk,
+    spr_topk,
+)
 
 __all__ = [
     "PartitionResult",
@@ -12,6 +17,7 @@ __all__ = [
     "expected_precision_lower_bound",
     "partition",
     "reference_sort",
+    "resume_spr_topk",
     "select_reference",
     "spr_topk",
     "thurstone_order",

@@ -90,6 +90,8 @@ def partition(
     *,
     max_reference_changes: int = 2,
     step: int | None = None,
+    checkpointing: bool = True,
+    resume: dict | None = None,
 ) -> PartitionResult:
     """Partition ``item_ids`` against ``reference`` into winners/ties/losers.
 
@@ -97,76 +99,142 @@ def partition(
     to the session's batch size η).  ``max_reference_changes`` bounds the
     Table-4 reference-change optimization; 0 reproduces plain Algorithm 4
     without Lines 9-12.
+
+    ``checkpointing=True`` registers this loop as the session's
+    ``"partition"`` state provider and offers a checkpoint at every round
+    boundary (a no-op unless the session has
+    :meth:`~repro.crowd.session.CrowdSession.enable_checkpoints` on).
+    Registration fails silently for nested invocations — only the
+    outermost partitioning loop produces resumable state.  ``resume``
+    takes the provider's persisted document and restarts the loop exactly
+    where the checkpoint left it (``item_ids``/``k``/``reference`` are
+    then read from the document, not the arguments).
     """
-    ids = [int(i) for i in item_ids]
-    reference = int(reference)
-    if reference not in ids:
-        raise AlgorithmError(f"reference {reference} is not among the items")
-    if not 1 <= k <= len(ids):
-        raise AlgorithmError(f"k must be in [1, {len(ids)}], got {k}")
-    if max_reference_changes < 0:
-        raise AlgorithmError("max_reference_changes must be >= 0")
+    if resume is not None:
+        reference = int(resume["reference"])
+        k = int(resume["k"])
+        max_reference_changes = int(resume["max_reference_changes"])
+        step = resume["step"]
+        winners = [int(i) for i in resume["winners"]]
+        losers = [int(i) for i in resume["losers"]]
+        ties = [int(i) for i in resume["ties"]]
+        changes = int(resume["changes"])
+        cost_before = int(resume["cost_before"])
+        rounds_before = int(resume["rounds_before"])
+        pairs = [(int(a), int(b)) for a, b in resume["pool_pairs"]]
+        pool = RacingPool(session, pairs, resume_state=resume["pool_state"])
+        resolved_backlog: list[tuple[int, int]] = []
+        pool_means = {
+            int(item): float(mean) for item, mean in resume["pool_means"].items()
+        }
+    else:
+        ids = [int(i) for i in item_ids]
+        reference = int(reference)
+        if reference not in ids:
+            raise AlgorithmError(f"reference {reference} is not among the items")
+        if not 1 <= k <= len(ids):
+            raise AlgorithmError(f"k must be in [1, {len(ids)}], got {k}")
+        if max_reference_changes < 0:
+            raise AlgorithmError("max_reference_changes must be >= 0")
 
-    cost_before, rounds_before = session.spent()
+        cost_before, rounds_before = session.spent()
+        winners = []
+        losers = []
+        ties = []
+        changes = 0
+
+        pending = [i for i in ids if i != reference]
+        pool = RacingPool(session, [(item, reference) for item in pending])
+        resolved_backlog = list(pool.initial_decisions)
+        # Winner means vs the *current* reference, harvested as resolved.
+        pool_means = {}
+
     telemetry = session.telemetry
-    winners: list[int] = []
-    losers: list[int] = []
-    ties: list[int] = []
-    changes = 0
 
-    pending = [i for i in ids if i != reference]
-    pool = RacingPool(session, [(item, reference) for item in pending])
-    resolved_backlog = list(pool.initial_decisions)
-    # Winner means vs the *current* reference, harvested as pairs resolve.
-    pool_means: dict[int, float] = {}
+    def _provider() -> dict:
+        # Called at a round boundary: the backlog is folded, so the lists
+        # plus the pool's exact numeric state describe the loop fully.
+        active = pool.active_indices
+        return {
+            "k": k,
+            "reference": reference,
+            "max_reference_changes": max_reference_changes,
+            "step": step,
+            "winners": list(winners),
+            "losers": list(losers),
+            "ties": list(ties),
+            "changes": changes,
+            "cost_before": cost_before,
+            "rounds_before": rounds_before,
+            "pool_pairs": [
+                [int(pool.left[i]), int(pool.right[i])] for i in active
+            ],
+            "pool_state": pool.snapshot_state(active),
+            "pool_means": pool_means,
+        }
 
-    while True:
-        for idx, code in resolved_backlog:
-            item = int(pool.left[idx])
-            if code > 0:
-                winners.append(item)
-                pool_means[item] = pool.mean(idx)
-            elif code < 0:
-                losers.append(item)
-            else:
-                ties.append(item)
-                telemetry.counter("spr_deferments_total").inc()
-                logger.debug(
-                    "deferment: item %d could not be separated from "
-                    "reference %d within the per-pair budget", item, reference,
+    # The provider reads the loop variables through this closure, so it is
+    # registered before the loop and sees every rebinding (pool restarts,
+    # reference changes) up to the moment a checkpoint is pulled.
+    owns_checkpoint = checkpointing and session.register_state_provider(
+        "partition", _provider
+    )
+    try:
+        while True:
+            for idx, code in resolved_backlog:
+                item = int(pool.left[idx])
+                if code > 0:
+                    winners.append(item)
+                    pool_means[item] = pool.mean(idx)
+                elif code < 0:
+                    losers.append(item)
+                else:
+                    ties.append(item)
+                    telemetry.counter("spr_deferments_total").inc()
+                    logger.debug(
+                        "deferment: item %d could not be separated from "
+                        "reference %d within the per-pair budget", item, reference,
+                    )
+            resolved_backlog = []
+            if owns_checkpoint:
+                # Round boundary with the backlog folded: the one safe
+                # point where the provider's document fully describes the
+                # loop, so the cadence check lives here.
+                session.maybe_checkpoint()
+
+            # Lines 9-12: swap in a better reference once k winners exist
+            # and undecided pairs remain to benefit from it.
+            undecided = len(pool.active_indices) + len(ties)
+            if (
+                len(winners) >= k
+                and changes < max_reference_changes
+                and undecided > 0
+            ):
+                new_reference = _kth_best_winner(
+                    session, winners, reference, k, pool_means
                 )
-        resolved_backlog = []
+                losers.append(reference)
+                winners.remove(new_reference)
+                restart = [int(pool.left[i]) for i in pool.active_indices] + ties
+                ties = []
+                pool_means = {}  # stale: measured vs the old reference
+                telemetry.counter("spr_reference_changes_total").inc()
+                logger.info(
+                    "reference change %d: %d -> %d with %d pairs restarting",
+                    changes + 1, reference, new_reference, len(restart),
+                )
+                reference = new_reference
+                changes += 1
+                pool = RacingPool(session, [(item, reference) for item in restart])
+                resolved_backlog = list(pool.initial_decisions)
+                continue
 
-        # Lines 9-12: swap in a better reference once k winners exist and
-        # undecided pairs remain to benefit from it.
-        undecided = len(pool.active_indices) + len(ties)
-        if (
-            len(winners) >= k
-            and changes < max_reference_changes
-            and undecided > 0
-        ):
-            new_reference = _kth_best_winner(
-                session, winners, reference, k, pool_means
-            )
-            losers.append(reference)
-            winners.remove(new_reference)
-            restart = [int(pool.left[i]) for i in pool.active_indices] + ties
-            ties = []
-            pool_means = {}  # stale: they were measured vs the old reference
-            telemetry.counter("spr_reference_changes_total").inc()
-            logger.info(
-                "reference change %d: %d -> %d with %d pairs restarting",
-                changes + 1, reference, new_reference, len(restart),
-            )
-            reference = new_reference
-            changes += 1
-            pool = RacingPool(session, [(item, reference) for item in restart])
-            resolved_backlog = list(pool.initial_decisions)
-            continue
-
-        if pool.is_done:
-            break
-        resolved_backlog = pool.round(step)
+            if pool.is_done:
+                break
+            resolved_backlog = pool.round(step)
+    finally:
+        if owns_checkpoint:
+            session.unregister_state_provider("partition")
 
     # Line 13: the reference is itself a top-k candidate when fewer than k
     # items beat it; otherwise it is dominated by k confirmed items.

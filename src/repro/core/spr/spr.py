@@ -17,11 +17,12 @@ base case.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING
 
 from ...config import SPRConfig
 from ...errors import AlgorithmError
+from ...stats.reference import SamplingPlan
 from .partition import PartitionResult, partition
 from .rank import reference_sort
 from .select import SelectionResult, select_reference
@@ -29,7 +30,12 @@ from .select import SelectionResult, select_reference
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ...crowd.session import CrowdSession
 
-__all__ = ["SPRResult", "spr_topk", "expected_precision_lower_bound"]
+__all__ = [
+    "SPRResult",
+    "spr_topk",
+    "resume_spr_topk",
+    "expected_precision_lower_bound",
+]
 
 
 @dataclass(frozen=True)
@@ -121,14 +127,138 @@ def spr_topk(
             sweet_spot=config.sweet_spot,
             budget_factor=config.selection_budget_factor,
         )
-    with telemetry.span("spr.partition", session=session, items=len(ids), k=k):
-        part = partition(
-            session,
-            ids,
-            k,
-            selection.reference,
-            max_reference_changes=config.max_reference_changes,
+
+    # Query-level state for checkpoint/resume: what surrounds the
+    # partitioning loop.  Only the outermost SPR invocation owns the key;
+    # recursive blow-up queries run without checkpointing — their state is
+    # not resumable on its own.
+    def _provider() -> dict:
+        return {
+            "items": list(ids),
+            "k": k,
+            "config": _spr_config_document(config),
+            "selection": _selection_document(selection),
+            "cost_before": cost_before,
+            "rounds_before": rounds_before,
+        }
+
+    owns_checkpoint = session.register_state_provider("spr", _provider)
+    try:
+        with telemetry.span("spr.partition", session=session, items=len(ids), k=k):
+            part = partition(
+                session,
+                ids,
+                k,
+                selection.reference,
+                max_reference_changes=config.max_reference_changes,
+                checkpointing=owns_checkpoint,
+            )
+    finally:
+        if owns_checkpoint:
+            session.unregister_state_provider("spr")
+    return _conclude(
+        session, ids, k, config, selection, part, cost_before, rounds_before
+    )
+
+
+def _spr_config_document(config: SPRConfig) -> dict:
+    """The SPR knobs as a JSON document (the comparison config rides in the
+    session's own checkpoint state)."""
+    return {
+        "sweet_spot": config.sweet_spot,
+        "max_reference_changes": config.max_reference_changes,
+        "selection_budget_factor": config.selection_budget_factor,
+        "selection_comparison_budget": config.selection_comparison_budget,
+        "min_items_for_selection": config.min_items_for_selection,
+    }
+
+
+def _selection_document(selection: SelectionResult) -> dict:
+    return {
+        "reference": selection.reference,
+        "plan": asdict(selection.plan),
+        "maxima": [int(i) for i in selection.maxima],
+        "cost": selection.cost,
+        "rounds": selection.rounds,
+    }
+
+
+def resume_spr_topk(session: "CrowdSession") -> SPRResult:
+    """Finish an SPR query from a restored session's checkpoint state.
+
+    ``session`` must come from :meth:`CrowdSession.restore` on a checkpoint
+    written mid-partition: the selection phase is replayed from its
+    persisted result (no re-sampling, no RNG consumption), the
+    partitioning loop restarts from its exact racing state, and the query
+    concludes identically — same top-k, same total cost — to the run that
+    was killed.
+    """
+    state = session.restored_state
+    if state is None:
+        raise AlgorithmError("session carries no restored checkpoint state")
+    query = state.get("query", {})
+    if "spr" not in query or "partition" not in query:
+        raise AlgorithmError(
+            "checkpoint does not hold an in-flight SPR query "
+            f"(query keys: {sorted(query)})"
         )
+    spr_state = query["spr"]
+    config = SPRConfig(comparison=session.config, **spr_state["config"])
+    sel = spr_state["selection"]
+    selection = SelectionResult(
+        reference=int(sel["reference"]),
+        plan=SamplingPlan(**sel["plan"]),
+        maxima=tuple(int(i) for i in sel["maxima"]),
+        cost=int(sel["cost"]),
+        rounds=int(sel["rounds"]),
+    )
+    ids = [int(i) for i in spr_state["items"]]
+    k = int(spr_state["k"])
+    cost_before = int(spr_state["cost_before"])
+    rounds_before = int(spr_state["rounds_before"])
+    telemetry = session.telemetry
+
+    def _provider() -> dict:
+        return {
+            "items": list(ids),
+            "k": k,
+            "config": _spr_config_document(config),
+            "selection": _selection_document(selection),
+            "cost_before": cost_before,
+            "rounds_before": rounds_before,
+        }
+
+    owns_checkpoint = session.register_state_provider("spr", _provider)
+    try:
+        with telemetry.span("spr.partition", session=session, items=len(ids), k=k):
+            part = partition(
+                session,
+                ids,
+                k,
+                selection.reference,
+                checkpointing=owns_checkpoint,
+                resume=query["partition"],
+            )
+    finally:
+        if owns_checkpoint:
+            session.unregister_state_provider("spr")
+    return _conclude(
+        session, ids, k, config, selection, part, cost_before, rounds_before
+    )
+
+
+def _conclude(
+    session: "CrowdSession",
+    ids: list[int],
+    k: int,
+    config: SPRConfig,
+    selection: SelectionResult,
+    part: PartitionResult,
+    cost_before: int,
+    rounds_before: int,
+) -> SPRResult:
+    """Lines 4-10 of Algorithm 2: turn a partition into the ranked top-k."""
+    telemetry = session.telemetry
     winners = list(part.winners)
     ties = list(part.ties)
     losers = list(part.losers)

@@ -1,5 +1,7 @@
 """Simulated crowdsourcing platform: oracles, workers, ledgers, sessions."""
 
+from .faults import FaultInjector
+from .group import race_group
 from .ledger import CostLedger, LatencyLedger
 from .oracle import (
     BinaryOracle,
@@ -27,6 +29,8 @@ __all__ = [
     "CarelessWorkerNoise",
     "CostLedger",
     "CrowdSession",
+    "FaultInjector",
+    "race_group",
     "WallClockEstimate",
     "project_wall_clock",
     "GaussianNoise",

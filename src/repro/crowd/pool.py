@@ -11,6 +11,15 @@ Semantics match running one :class:`~repro.core.comparison.Comparator` per
 pair — the stopping rule is checked after every sample, costs are charged
 only for consumed samples — but rounds are shared across the pool, which is
 precisely the paper's parallel-latency model (§5.5).
+
+When the session's oracle is a :class:`~repro.crowd.faults.FaultInjector`
+with faults enabled, each round *harvests partial results*: only delivered
+answers are evaluated, consumed, charged, and cached; pairs whose whole
+batch was dropped are re-raced under the config's
+:class:`~repro.config.RetryPolicy` (exponential backoff in rounds, degrade
+to tie after ``max_attempts`` consecutive delivery-free rounds or past the
+per-pair ``deadline_rounds``).  With every fault rate at zero the pool
+takes the historical code path bit for bit.
 """
 
 from __future__ import annotations
@@ -52,6 +61,13 @@ class RacingPool:
         Whether each :meth:`round` bills one latency round.
     config:
         Optional comparison-config override (defaults to the session's).
+    resume_state:
+        A state snapshot previously produced by :meth:`snapshot_state`
+        (via a session checkpoint).  When given, the per-pair numeric
+        state is restored *exactly* instead of being re-derived from the
+        judgment cache — cache replay regroups floating-point sums and
+        can differ from the incrementally accumulated originals in the
+        last ulp, which would break bit-for-bit resume.
     """
 
     def __init__(
@@ -62,6 +78,7 @@ class RacingPool:
         use_cache: bool = True,
         charge_latency: bool = True,
         config: ComparisonConfig | None = None,
+        resume_state: dict | None = None,
     ) -> None:
         self.session = session
         self.config = config if config is not None else session.config
@@ -84,7 +101,24 @@ class RacingPool:
         self._stein = isinstance(self._tester, SteinTester)
         self._stage_var = np.full(count, np.nan) if self._stein else None
 
-        if use_cache and count:
+        # Resilience layer: delivery faults and retry/backoff/deadline
+        # state.  `_injector` is non-None only when the platform actually
+        # injects faults; the fault-free path below stays byte-identical.
+        from .faults import FaultInjector  # deferred: faults imports oracle
+
+        oracle = session.oracle
+        self._injector = (
+            oracle if isinstance(oracle, FaultInjector) and oracle.enabled else None
+        )
+        self._retry = self.config.resilience.retry
+        self._deadline = self._retry.deadline_rounds
+        self._failures = np.zeros(count, dtype=np.int64)
+        self._eligible_round = np.zeros(count, dtype=np.int64)
+        self._rounds_done = 0
+
+        if resume_state is not None:
+            self._load_state(resume_state)
+        elif use_cache and count:
             self._replay_cache()
 
     def _replay_cache(self) -> None:
@@ -167,6 +201,50 @@ class RacingPool:
             )
 
     # ------------------------------------------------------------------
+    # checkpoint/resume: in-flight racing state
+    # ------------------------------------------------------------------
+    def snapshot_state(self, indices: np.ndarray | None = None) -> dict:
+        """JSON-serializable per-pair numeric state for a checkpoint.
+
+        ``indices`` selects the pairs to snapshot (default: the still
+        active ones).  The snapshot pairs with :meth:`__init__`'s
+        ``resume_state`` to reconstruct the pool bit for bit.
+        """
+        idx = self.active_indices if indices is None else np.asarray(indices)
+        state = {
+            "n": self.n[idx].tolist(),
+            "s1": self.s1[idx].tolist(),
+            "s2": self.s2[idx].tolist(),
+            "stage_var": (
+                self._stage_var[idx].tolist() if self._stage_var is not None else None
+            ),
+            "failures": self._failures[idx].tolist(),
+            "eligible_round": self._eligible_round[idx].tolist(),
+            "rounds_done": int(self._rounds_done),
+        }
+        return state
+
+    def _load_state(self, state: dict) -> None:
+        """Restore per-pair numeric state saved by :meth:`snapshot_state`."""
+        count = self.size
+        for key in ("n", "s1", "s2", "failures", "eligible_round"):
+            if len(state[key]) != count:
+                raise ValueError(
+                    f"resume state carries {len(state[key])} values for "
+                    f"{key!r} but the pool holds {count} pairs"
+                )
+        self.n = np.asarray(state["n"], dtype=np.int64)
+        self.s1 = np.asarray(state["s1"], dtype=np.float64)
+        self.s2 = np.asarray(state["s2"], dtype=np.float64)
+        if self._stein:
+            saved = state.get("stage_var")
+            if saved is not None:
+                self._stage_var = np.asarray(saved, dtype=np.float64)
+        self._failures = np.asarray(state["failures"], dtype=np.int64)
+        self._eligible_round = np.asarray(state["eligible_round"], dtype=np.int64)
+        self._rounds_done = int(state["rounds_done"])
+
+    # ------------------------------------------------------------------
     @property
     def size(self) -> int:
         """Total number of pairs in the pool."""
@@ -209,15 +287,21 @@ class RacingPool:
 
         Returns the newly resolved pairs as ``(pair_index, code)`` with
         code ``+1`` (left wins), ``-1`` (right wins) or ``0`` (tie — the
-        per-pair budget ran out undecided).  Charges the session for the
-        consumed microtasks and, if configured, one latency round.
+        per-pair budget ran out undecided, or the pair degraded under the
+        retry policy).  Charges the session for the consumed microtasks
+        and, if configured, one latency round.
         """
+        if self._injector is not None:
+            return self._faulty_round(step)
         active = self.active_indices
         if active.size == 0:
             return []
+        if self._deadline is not None and self._rounds_done >= self._deadline:
+            return self._expire_deadline(active)
         step = self.config.batch_size if step is None else int(step)
         if step < 1:
             raise ValueError(f"step must be >= 1, got {step}")
+        self._rounds_done += 1
 
         remaining = (self._budget - self.n[active]).astype(np.int64)
         # Never draw wider than any pair can still consume: active pairs
@@ -231,7 +315,8 @@ class RacingPool:
         s1_mat = self.s1[active, None] + np.cumsum(draw, axis=1)
         s2_mat = self.s2[active, None] + np.cumsum(np.square(draw), axis=1)
         if self._stein:
-            codes = self._stein_codes(active, n_mat, s1_mat, s2_mat, remaining)
+            reach = np.minimum(n_mat.shape[1], remaining)
+            codes = self._stein_codes(active, n_mat, s1_mat, s2_mat, reach)
         else:
             codes = self._tester.decision_codes(n_mat, s1_mat / n_mat, s2_mat)
         codes = np.where(n_mat >= self.config.min_workload, codes, 0)
@@ -291,15 +376,20 @@ class RacingPool:
         n_mat: np.ndarray,
         s1_mat: np.ndarray,
         s2_mat: np.ndarray,
-        remaining: np.ndarray,
+        reach: np.ndarray,
     ) -> np.ndarray:
-        """Two-stage Stein decisions: capture stage variances, then decide."""
+        """Two-stage Stein decisions: capture stage variances, then decide.
+
+        ``reach`` is the per-row number of samples this round can actually
+        consume — ``min(step, remaining)`` on the fault-free path, further
+        limited by delivered answers under fault injection.
+        """
         stage = self.config.min_workload
         n_before = self.n[active]
         crossing = np.flatnonzero(
             np.isnan(self._stage_var[active])
             & (n_before < stage)
-            & (n_before + np.minimum(n_mat.shape[1], remaining) >= stage)
+            & (n_before + reach >= stage)
         )
         if crossing.size:
             cols = (stage - n_before[crossing] - 1).astype(np.intp)
@@ -315,6 +405,187 @@ class RacingPool:
             self._tester.alpha,
             self._tester.epsilon,
         )
+
+    # ------------------------------------------------------------------
+    # fault-aware execution
+    # ------------------------------------------------------------------
+    def _expire_deadline(self, active: np.ndarray) -> list[tuple[int, int]]:
+        """Degrade every still-active pair to a tie: the deadline passed."""
+        resolved: list[tuple[int, int]] = []
+        for idx in active:
+            self.status[int(idx)] = TIE
+            resolved.append((int(idx), 0))
+        self._telemetry.counter(
+            "crowd_degraded_ties_total", reason="deadline"
+        ).inc(int(active.size))
+        return resolved
+
+    def _register_failures(
+        self, failed: np.ndarray, round_no: int
+    ) -> list[tuple[int, int]]:
+        """Account pairs whose whole batch was dropped this round.
+
+        Pairs that exhausted ``max_attempts`` consecutive delivery-free
+        rounds degrade to ties; the rest are re-posted after their
+        exponential-backoff wait.
+        """
+        self._failures[failed] += 1
+        exhausted = failed[self._failures[failed] >= self._retry.max_attempts]
+        retrying = failed[self._failures[failed] < self._retry.max_attempts]
+        resolved: list[tuple[int, int]] = []
+        for idx in exhausted:
+            self.status[int(idx)] = TIE
+            resolved.append((int(idx), 0))
+        if exhausted.size:
+            self._telemetry.counter(
+                "crowd_degraded_ties_total", reason="retries"
+            ).inc(int(exhausted.size))
+        if retrying.size:
+            waits = np.asarray(
+                [
+                    self._retry.backoff_rounds(int(f))
+                    for f in self._failures[retrying]
+                ],
+                dtype=np.int64,
+            )
+            self._eligible_round[retrying] = round_no + 1 + waits
+            self._telemetry.counter("crowd_retries_total").inc(int(retrying.size))
+        return resolved
+
+    def _faulty_round(self, step: int | None = None) -> list[tuple[int, int]]:
+        """One round against a faulty platform: harvest what arrived.
+
+        Differences from the fault-free path: a whole-platform outage
+        draws nothing; dropped tasks (timeout/loss) are masked out of the
+        evaluation, never consumed, charged, or cached; pairs with zero
+        arrivals go through the retry policy; a latency round is billed
+        even when nothing arrives (the crowd clock still ticks).
+        """
+        active = self.active_indices
+        if active.size == 0:
+            return []
+        if self._deadline is not None and self._rounds_done >= self._deadline:
+            return self._expire_deadline(active)
+        step = self.config.batch_size if step is None else int(step)
+        if step < 1:
+            raise ValueError(f"step must be >= 1, got {step}")
+        round_no = self._rounds_done
+        self._rounds_done += 1
+        if self.charge_latency:
+            self.session.charge_rounds(1)
+        self._telemetry.counter("crowd_pool_rounds_total").inc()
+
+        eligible = active[self._eligible_round[active] <= round_no]
+        if eligible.size == 0:
+            return []  # every active pair is waiting out its backoff
+
+        remaining = (self._budget - self.n[eligible]).astype(np.int64)
+        step = int(min(step, int(remaining.max())))
+        if self._injector.outage_round():
+            return self._register_failures(eligible, round_no)
+
+        draw = self._injector.draw_pairs(
+            self.left[eligible], self.right[eligible], step, self.session.rng
+        )
+        self._telemetry.counter("oracle_judgments_total").inc(int(draw.size))
+        # delivery_mask consumes no fault randomness at zero drop rate, so
+        # skipping it entirely is RNG-neutral and saves the allocation.
+        mask = (
+            self._injector.delivery_mask(eligible.size, step)
+            if self._injector.policy.drop_rate > 0
+            else None
+        )
+
+        resolved: list[tuple[int, int]] = []
+        if mask is None or mask.all():
+            # Full delivery (always at zero rates, most rounds at small
+            # ones): the draw is already compact and every slot is valid,
+            # so skip the compaction and zero-fill entirely — this keeps
+            # the forced zero-fault path within a few percent of the
+            # historical one.
+            sub = eligible
+            self._failures[sub] = 0
+            counts_got = np.full(sub.size, step, dtype=np.int64)
+            width = step
+            values = draw
+            col = np.arange(1, width + 1, dtype=np.int64)
+            if self._injector.policy.duplicate_rate > 0:
+                valid = np.ones((sub.size, width), dtype=bool)
+                self._injector.apply_duplicates(values, valid)
+            sub_remaining = remaining
+        else:
+            arrivals = mask.sum(axis=1).astype(np.int64)
+            failed = eligible[arrivals == 0]
+            if failed.size:
+                resolved.extend(self._register_failures(failed, round_no))
+            got = np.flatnonzero(arrivals > 0)
+            if got.size == 0:
+                return resolved
+            sub = eligible[got]
+            self._failures[sub] = 0  # a delivery resets the retry count
+
+            # Compact each row's delivered answers to the left;
+            # beyond-arrival columns are zeroed so the cumulative sums
+            # stay clean.
+            counts_got = arrivals[got]
+            width = int(counts_got.max())
+            order = np.argsort(~mask[got], axis=1, kind="stable")
+            values = np.take_along_axis(draw[got], order, axis=1)[:, :width]
+            col = np.arange(1, width + 1, dtype=np.int64)
+            valid = col[None, :] <= counts_got[:, None]
+            self._injector.apply_duplicates(values, valid)
+            values = np.where(valid, values, 0.0)
+            sub_remaining = remaining[got]
+
+        reach = np.minimum(counts_got, sub_remaining)
+        n_mat = self.n[sub, None] + col[None, :]
+        s1_mat = self.s1[sub, None] + np.cumsum(values, axis=1)
+        s2_mat = self.s2[sub, None] + np.cumsum(np.square(values), axis=1)
+        if self._stein:
+            codes = self._stein_codes(sub, n_mat, s1_mat, s2_mat, reach)
+        else:
+            codes = self._tester.decision_codes(n_mat, s1_mat / n_mat, s2_mat)
+        codes = np.where(n_mat >= self.config.min_workload, codes, 0)
+        codes = np.where(col[None, :] > reach[:, None], 0, codes)
+
+        has_decision = codes != 0
+        first = np.where(has_decision.any(axis=1), has_decision.argmax(axis=1), width)
+        consumed = np.where(first < width, first + 1, reach).astype(np.int64)
+
+        rows = np.arange(sub.size)
+        last = consumed - 1  # reach >= 1 on every row with arrivals
+        self.n[sub] = n_mat[rows, last]
+        self.s1[sub] = s1_mat[rows, last]
+        self.s2[sub] = s2_mat[rows, last]
+
+        cache = self.session.cache if self.use_cache else None
+        decided_rows = np.flatnonzero(first < width)
+        exhausted_rows = np.flatnonzero(
+            (first >= width) & (self.n[sub] >= self._budget)
+        )
+        for row in decided_rows:
+            idx = int(sub[row])
+            code = int(codes[row, first[row]])
+            self.status[idx] = DECIDED_LEFT if code > 0 else DECIDED_RIGHT
+            resolved.append((idx, code))
+        for row in exhausted_rows:
+            idx = int(sub[row])
+            self.status[idx] = TIE
+            resolved.append((idx, 0))
+        if cache is not None:
+            for row in range(sub.size):
+                idx = int(sub[row])
+                cache.append(
+                    int(self.left[idx]),
+                    int(self.right[idx]),
+                    values[row, : consumed[row]],
+                )
+        self.session.charge_cost(int(consumed.sum()))
+        if exhausted_rows.size:
+            self._telemetry.counter("crowd_budget_ties_total").inc(
+                int(exhausted_rows.size)
+            )
+        return resolved
 
     def run_to_completion(self, step: int | None = None) -> list[tuple[int, int]]:
         """Race until every pair resolves; returns all resolutions in order."""

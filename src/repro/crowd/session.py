@@ -9,20 +9,26 @@ so that TMC and latency are measured uniformly across methods.
 
 from __future__ import annotations
 
+import os
+import warnings
 from collections.abc import Callable, Iterable
+from dataclasses import asdict
 
 import numpy as np
 
-from ..config import ComparisonConfig
+from ..config import ComparisonConfig, comparison_config_from_dict
 from ..core.cache import JudgmentCache
 from ..core.comparison import Comparator, ComparisonRecord
 from ..core.outcomes import Outcome
 from ..rng import make_rng
 from ..telemetry import MetricsRegistry, get_registry
+from .faults import FaultInjector
 from .ledger import CostLedger, LatencyLedger
 from .oracle import JudgmentOracle
 
 __all__ = ["CrowdSession"]
+
+StateProvider = Callable[[], dict]
 
 CompareListener = Callable[["CrowdSession", ComparisonRecord], None]
 
@@ -58,16 +64,31 @@ class CrowdSession:
         max_total_cost: int | None = None,
         telemetry: MetricsRegistry | None = None,
     ) -> None:
-        self.oracle = oracle
         self.config = config if config is not None else ComparisonConfig()
+        self.oracle = self._wrap_oracle(oracle, self.config)
         self.rng = make_rng(seed)
         self.cache = JudgmentCache()
-        self.comparator = Comparator(oracle, self.config, self.cache)
+        self.comparator = Comparator(self.oracle, self.config, self.cache)
         self.cost = CostLedger(ceiling=max_total_cost)
         self.latency = LatencyLedger()
         self._telemetry = telemetry
         self._compare_listeners: list[CompareListener] = []
         self._instrument_cache: tuple | None = None
+        self._state_providers: dict[str, StateProvider] = {}
+        self._checkpoint_path: str | os.PathLike | None = None
+        self._checkpoint_every: int = 0
+        self._last_checkpoint_rounds: int = 0
+        self.restored_state: dict | None = None
+
+    @staticmethod
+    def _wrap_oracle(
+        oracle: JudgmentOracle, config: ComparisonConfig
+    ) -> JudgmentOracle:
+        """Wrap the oracle in a fault injector when the config demands one."""
+        fault = config.resilience.fault
+        if fault.enabled and not isinstance(oracle, FaultInjector):
+            return FaultInjector(oracle, fault)
+        return oracle
 
     # ------------------------------------------------------------------
     # observability
@@ -141,12 +162,20 @@ class CrowdSession:
     def compare_group(
         self, pairs: Iterable[tuple[int, int]]
     ) -> list[ComparisonRecord]:
-        """Run independent comparisons that are outsourced simultaneously.
+        """Deprecated alias of :meth:`compare_many`.
 
-        Cost is the sum over the group; latency is the maximum — the crowd
-        answers all the pairs' batches in overlapping rounds (§5.5).
-        Alias of :meth:`compare_many`, kept for its long-standing name.
+        .. deprecated::
+            ``compare`` / ``compare_group`` / ``compare_many`` collapsed
+            into one surface — :meth:`compare_many` is the canonical group
+            entry point (same semantics, plus ``charge_latency``).  This
+            alias emits a :class:`DeprecationWarning` and will be removed.
         """
+        warnings.warn(
+            "CrowdSession.compare_group is deprecated; "
+            "use CrowdSession.compare_many",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.compare_many(pairs)
 
     def compare_many(
@@ -220,6 +249,147 @@ class CrowdSession:
         self.latency.add(rounds)
 
     # ------------------------------------------------------------------
+    # checkpoint / resume
+    # ------------------------------------------------------------------
+    def register_state_provider(self, key: str, provider: StateProvider) -> bool:
+        """Install the query-state provider for ``key``.
+
+        A provider is a zero-argument callable returning a
+        JSON-serializable dict describing in-flight query state (e.g. the
+        SPR partitioning loop).  Returns ``False`` when another provider
+        already owns ``key`` — nested invocations (e.g. SPR's recursive
+        blow-up queries) must then run *without* checkpointing, since only
+        the outermost loop's state makes a resumable document.
+        """
+        if key in self._state_providers:
+            return False
+        self._state_providers[key] = provider
+        return True
+
+    def unregister_state_provider(self, key: str) -> None:
+        """Remove the provider for ``key`` (no-op when absent)."""
+        self._state_providers.pop(key, None)
+
+    def enable_checkpoints(
+        self, path: str | os.PathLike, every: int | None = None
+    ) -> None:
+        """Turn on periodic checkpoints to ``path``.
+
+        ``every`` is the cadence in *latency rounds* between automatic
+        :meth:`maybe_checkpoint` writes (default: the config's
+        ``resilience.checkpoint_every``, or every round when that is 0).
+        """
+        if every is None:
+            every = self.config.resilience.checkpoint_every or 1
+        if every < 1:
+            raise ValueError(f"checkpoint cadence must be >= 1, got {every}")
+        self._checkpoint_path = path
+        self._checkpoint_every = every
+        self._last_checkpoint_rounds = self.latency.rounds
+
+    def maybe_checkpoint(self) -> bool:
+        """Checkpoint if enabled and the cadence has elapsed.
+
+        Called by resumable loops (SPR partitioning) at their safe points;
+        cheap when checkpointing is off or the cadence has not elapsed.
+        """
+        if self._checkpoint_path is None:
+            return False
+        elapsed = self.latency.rounds - self._last_checkpoint_rounds
+        if elapsed < self._checkpoint_every:
+            return False
+        self.checkpoint(self._checkpoint_path)
+        return True
+
+    def checkpoint_state(self) -> dict:
+        """The session's full JSON-serializable state document.
+
+        Captures the comparison config, the judgment RNG state, the fault
+        RNG state (when a fault injector wraps the oracle), both ledgers,
+        and every registered query-state provider's document under
+        ``query.<key>``.  The judgment cache is *not* in the document — it
+        rides alongside as raw arrays (see
+        :func:`repro.persistence.save_checkpoint`).
+        """
+        injector = self.oracle if isinstance(self.oracle, FaultInjector) else None
+        return {
+            "config": asdict(self.config),
+            "rng_state": self.rng.bit_generator.state,
+            "fault_rng_state": (
+                injector.fault_rng.bit_generator.state
+                if injector is not None
+                else None
+            ),
+            "cost": {
+                "microtasks": self.cost.microtasks,
+                "comparisons": self.cost.comparisons,
+                "ceiling": self.cost.ceiling,
+            },
+            "latency": {"rounds": self.latency.rounds},
+            "query": {
+                key: provider() for key, provider in self._state_providers.items()
+            },
+        }
+
+    def checkpoint(self, path: str | os.PathLike | None = None) -> None:
+        """Atomically persist the session to ``path`` (write-temp + rename).
+
+        ``path`` defaults to the one given to :meth:`enable_checkpoints`.
+        """
+        from ..persistence import save_checkpoint  # deferred: persistence is optional here
+
+        if path is None:
+            path = self._checkpoint_path
+        if path is None:
+            raise ValueError(
+                "no checkpoint path: pass one or call enable_checkpoints first"
+            )
+        save_checkpoint(self.checkpoint_state(), self.cache, path)
+        self._last_checkpoint_rounds = self.latency.rounds
+        self.telemetry.counter("crowd_checkpoints_total").inc()
+
+    @classmethod
+    def restore(
+        cls,
+        path: str | os.PathLike,
+        oracle: JudgmentOracle,
+        telemetry: MetricsRegistry | None = None,
+    ) -> "CrowdSession":
+        """Revive a session from a checkpoint written by :meth:`checkpoint`.
+
+        ``oracle`` is the *base* oracle (checkpoints never serialize the
+        crowd itself); the fault injector is re-wrapped from the persisted
+        config and both RNGs are restored exactly, so the resumed session
+        consumes randomness bit for bit where the original left off.  The
+        in-flight query state is left in :attr:`restored_state` for the
+        resuming algorithm (see ``resume_spr_topk``).
+        """
+        from ..persistence import load_checkpoint
+
+        state, cache = load_checkpoint(path)
+        config = comparison_config_from_dict(state["config"])
+        session = cls(
+            oracle,
+            config,
+            seed=None,
+            max_total_cost=state["cost"]["ceiling"],
+            telemetry=telemetry,
+        )
+        session.rng.bit_generator.state = state["rng_state"]
+        injector = (
+            session.oracle if isinstance(session.oracle, FaultInjector) else None
+        )
+        if injector is not None and state["fault_rng_state"] is not None:
+            injector.fault_rng.bit_generator.state = state["fault_rng_state"]
+        session.cache = cache
+        session.comparator = Comparator(session.oracle, config, cache)
+        session.cost.microtasks = state["cost"]["microtasks"]
+        session.cost.comparisons = state["cost"]["comparisons"]
+        session.latency.rounds = state["latency"]["rounds"]
+        session.restored_state = state
+        return session
+
+    # ------------------------------------------------------------------
     # snapshots
     # ------------------------------------------------------------------
     @property
@@ -244,8 +414,15 @@ class CrowdSession:
         must not mix; a fresh cache is installed in that case).
         """
         clone = object.__new__(CrowdSession)
-        clone.oracle = oracle if oracle is not None else self.oracle
         clone.config = self.config.with_(**config_changes) if config_changes else self.config
+        # A replaced oracle gets its own fault wrap (the parent's injector
+        # belongs to the parent's judgment model); an inherited oracle
+        # keeps the parent's injector and hence its fault stream.
+        clone.oracle = (
+            self._wrap_oracle(oracle, clone.config)
+            if oracle is not None
+            else self.oracle
+        )
         clone.rng = self.rng
         clone.cache = JudgmentCache() if oracle is not None else self.cache
         clone.comparator = Comparator(clone.oracle, clone.config, clone.cache)
@@ -254,6 +431,11 @@ class CrowdSession:
         clone._telemetry = self._telemetry
         clone._compare_listeners = []  # traces attach per-session, not per-bill
         clone._instrument_cache = None
+        clone._state_providers = {}  # checkpoints are the root session's job
+        clone._checkpoint_path = None
+        clone._checkpoint_every = 0
+        clone._last_checkpoint_rounds = 0
+        clone.restored_state = None
         return clone
 
     def spent(self) -> tuple[int, int]:

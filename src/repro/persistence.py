@@ -13,6 +13,13 @@ Two formats:
   bags (lossless, compact; the natural operational format).
 * ``cache_to_json`` / ``cache_from_json`` — human-readable interchange for
   audits and cross-tool exchange.
+
+``save_checkpoint`` / ``load_checkpoint`` extend the archive format with a
+full :class:`~repro.crowd.session.CrowdSession` state document (config, RNG
+states, ledgers, in-flight query state) so a killed query resumes to the
+identical result at identical cost.  Checkpoints are written atomically —
+to a temporary file in the target directory, then ``os.replace``'d into
+place — so a crash mid-write never corrupts the previous checkpoint.
 """
 
 from __future__ import annotations
@@ -29,11 +36,14 @@ from .errors import CrowdTopkError
 __all__ = [
     "save_cache",
     "load_cache",
+    "save_checkpoint",
+    "load_checkpoint",
     "cache_to_json",
     "cache_from_json",
 ]
 
 _FORMAT_VERSION = 1
+_CHECKPOINT_VERSION = 1
 
 
 def save_cache(cache: JudgmentCache, path: str | os.PathLike) -> None:
@@ -68,6 +78,71 @@ def load_cache(path: str | os.PathLike) -> JudgmentCache:
         for number, (a, b) in enumerate(pairs):
             cache.append(int(a), int(b), archive[f"bag_{number}"])
     return cache
+
+
+def save_checkpoint(
+    state: dict, cache: JudgmentCache, path: str | os.PathLike
+) -> None:
+    """Atomically write a session checkpoint (state document + cache).
+
+    ``state`` must be JSON-serializable (``CrowdSession.checkpoint_state``
+    produces one; Python's ``json`` round-trips the arbitrary-precision
+    ints of RNG bit-generator states and the exact ``repr`` of every
+    float).  The judgment bags ride alongside as raw numpy arrays — the
+    same layout as :func:`save_cache` — so the bulk data never passes
+    through JSON.
+
+    Atomicity: the archive is written to a ``.tmp`` sibling in the target
+    directory and moved into place with :func:`os.replace`, which is
+    atomic on POSIX and Windows — a reader never observes a torn file and
+    a crash mid-write leaves any previous checkpoint intact.
+    """
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {
+        "__meta__": np.asarray([_FORMAT_VERSION], dtype=np.int64),
+        "__checkpoint__": np.asarray(
+            [json.dumps({"version": _CHECKPOINT_VERSION, **state})]
+        ),
+    }
+    index = []
+    for number, (a, b) in enumerate(cache.pairs()):
+        arrays[f"bag_{number}"] = cache.bag(a, b)
+        index.append((a, b))
+    arrays["__pairs__"] = np.asarray(index, dtype=np.int64).reshape(-1, 2)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # a failed write leaves no debris
+            tmp.unlink()
+
+
+def load_checkpoint(path: str | os.PathLike) -> tuple[dict, JudgmentCache]:
+    """Read a checkpoint written by :func:`save_checkpoint`.
+
+    Returns ``(state, cache)`` — the JSON state document (without the
+    version key) and the revived judgment cache.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        if "__checkpoint__" not in archive or "__pairs__" not in archive:
+            raise CrowdTopkError(f"{path} is not a crowd-topk checkpoint archive")
+        document = json.loads(str(archive["__checkpoint__"][0]))
+        version = document.pop("version", None)
+        if version != _CHECKPOINT_VERSION:
+            raise CrowdTopkError(
+                f"checkpoint version {version} is not supported "
+                f"(expected {_CHECKPOINT_VERSION})"
+            )
+        cache = JudgmentCache()
+        pairs = archive["__pairs__"]
+        for number, (a, b) in enumerate(pairs):
+            cache.append(int(a), int(b), archive[f"bag_{number}"])
+    return document, cache
 
 
 def cache_to_json(cache: JudgmentCache) -> str:

@@ -46,6 +46,7 @@ from .invariants import (
     InvariantReport,
     InvariantResult,
     InvariantViolation,
+    check_resume_determinism,
     run_invariant_suite,
 )
 
@@ -59,6 +60,7 @@ __all__ = [
     "InvariantResult",
     "InvariantViolation",
     "TraceRecorder",
+    "check_resume_determinism",
     "default_golden_cases",
     "diff_traces",
     "run_golden_suite",

@@ -31,19 +31,27 @@ lands in telemetry (``validation_invariant_checks_total{invariant=...}`` /
 from __future__ import annotations
 
 import math
+import os
+import tempfile
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from ..config import ComparisonConfig, SPRConfig
+from ..config import (
+    ComparisonConfig,
+    FaultPolicy,
+    ResiliencePolicy,
+    RetryPolicy,
+    SPRConfig,
+)
 from ..core.outcomes import Outcome
-from ..core.spr import PartitionResult, spr_topk
+from ..core.spr import PartitionResult, resume_spr_topk, spr_topk
 from ..crowd.oracle import LatentScoreOracle
 from ..crowd.session import CrowdSession
 from ..crowd.workers import GaussianNoise
-from ..errors import CrowdTopkError
+from ..errors import BudgetExhaustedError, CrowdTopkError
 from ..rng import make_rng, spawn_many
 from ..telemetry import get_registry
 
@@ -56,6 +64,7 @@ __all__ = [
     "InvariantReport",
     "InvariantResult",
     "InvariantViolation",
+    "check_resume_determinism",
     "run_invariant_suite",
 ]
 
@@ -183,12 +192,23 @@ class InvariantEngine:
             f"{pair}: workload {record.workload} exceeds budget {budget}",
         )
         if record.outcome is Outcome.TIE:
-            self.check(
-                "tie_exhausts_budget",
-                record.workload == budget,
-                f"{pair}: tie declared at workload {record.workload} != "
-                f"budget {budget}",
-            )
+            if session.config.resilience.active:
+                # Under faults or a deadline a pair may *degrade* to a tie
+                # below ``B`` (retry exhaustion, deadline expiry) — only
+                # the upper bound survives as an invariant.
+                self.check(
+                    "tie_within_budget",
+                    record.workload <= budget,
+                    f"{pair}: tie declared at workload {record.workload} > "
+                    f"budget {budget}",
+                )
+            else:
+                self.check(
+                    "tie_exhausts_budget",
+                    record.workload == budget,
+                    f"{pair}: tie declared at workload {record.workload} != "
+                    f"budget {budget}",
+                )
         else:
             self.check(
                 "decided_after_cold_start",
@@ -229,10 +249,20 @@ class InvariantEngine:
         counter reconciliation spans forks too, because those are shared.
         """
         registry = session.telemetry
+
+        def dropped_tasks() -> float:
+            # Timeouts and losses are posted tasks that never delivered —
+            # the only oracle draws allowed to go uncharged beyond the
+            # stopping rule's unconsumed tail.
+            return registry.counter_value(
+                "crowd_faults_total", mode="timeout"
+            ) + registry.counter_value("crowd_faults_total", mode="loss")
+
         cost0 = session.cost.microtasks
         cache0 = session.cache.total_samples
         micro0 = registry.counter_value("crowd_microtasks_total")
         draws0 = registry.counter_value("oracle_judgments_total")
+        drops0 = dropped_tasks()
         seen_cost = 0
 
         def audit(sess: CrowdSession, record: "ComparisonRecord") -> None:
@@ -255,11 +285,18 @@ class InvariantEngine:
                 f"ledger charged {spent} microtasks but telemetry metered "
                 f"{metered}",
             )
+            dropped = dropped_tasks() - drops0
             self.check(
                 "draws_cover_spend",
                 drawn >= spent,
                 f"charged {spent} microtasks but the oracle only produced "
                 f"{drawn} judgments",
+            )
+            self.check(
+                "faults_never_charged",
+                drawn - dropped >= spent,
+                f"charged {spent} microtasks but only {drawn} were drawn of "
+                f"which {dropped} dropped — lost tasks were billed",
             )
             if expect_cached_draws:
                 self.check(
@@ -357,6 +394,75 @@ class InvariantEngine:
         )
 
 
+def check_resume_determinism(
+    engine: InvariantEngine,
+    seed: int = 0,
+    n_items: int = 24,
+    k: int = 4,
+) -> bool:
+    """Kill-and-resume reproduces the uninterrupted query bit for bit.
+
+    Runs one SPR query to completion, replays it with a mid-flight budget
+    ceiling and per-round checkpointing, restores the checkpoint into a
+    fresh session, and asserts the resumed query returns the identical
+    top-k at identical total cost and latency — i.e. not a single
+    microtask was re-purchased or re-randomized across the kill.
+    """
+    rng = make_rng(seed)
+    scores = rng.normal(0.0, 3.0, n_items)
+    config = ComparisonConfig(
+        confidence=0.95, budget=300, min_workload=10, batch_size=20
+    )
+    spr_config = SPRConfig(sweet_spot=1.5)
+
+    def fresh_oracle() -> LatentScoreOracle:
+        return LatentScoreOracle(scores, GaussianNoise(1.0))
+
+    baseline = CrowdSession(fresh_oracle(), config, seed=seed)
+    expected = spr_topk(baseline, list(range(n_items)), k, spr_config)
+
+    # Kill mid-partition: the first checkpoint lands at the first partition
+    # round boundary, so a ceiling inside the selection phase would die
+    # with nothing on disk to resume.
+    selection_cost = expected.selection.cost if expected.selection else 0
+    ceiling = selection_cost + max((baseline.total_cost - selection_cost) // 2, 1)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "query.ckpt.npz")
+        killed = CrowdSession(
+            fresh_oracle(),
+            config,
+            seed=seed,
+            max_total_cost=ceiling,
+        )
+        killed.enable_checkpoints(path, every=1)
+        try:
+            spr_topk(killed, list(range(n_items)), k, spr_config)
+        except BudgetExhaustedError:
+            pass
+        else:
+            return engine.check(
+                "resume_determinism",
+                False,
+                "the mid-query budget ceiling never tripped — nothing to resume",
+            )
+        restored = CrowdSession.restore(path, fresh_oracle())
+        restored.cost.ceiling = None
+        resumed = resume_spr_topk(restored)
+    ok = (
+        resumed.topk == expected.topk
+        and restored.total_cost == baseline.total_cost
+        and restored.total_rounds == baseline.total_rounds
+    )
+    return engine.check(
+        "resume_determinism",
+        ok,
+        f"resumed topk={resumed.topk} cost={restored.total_cost} "
+        f"rounds={restored.total_rounds}; uninterrupted topk={expected.topk} "
+        f"cost={baseline.total_cost} rounds={baseline.total_rounds}",
+    )
+
+
 def run_invariant_suite(
     seed: int = 0,
     queries: int = 5,
@@ -368,8 +474,11 @@ def run_invariant_suite(
     Each query runs on a fresh synthetic instance with the engine attached
     (every comparison checked live, accounts reconciled), then the cache
     moments, the partition trichotomy, and the sweet-spot placement are
-    verified post-hoc.  Collect-mode (`strict=False`): the caller reads
-    the report instead of catching exceptions.
+    verified post-hoc.  One extra query runs against a *faulty* platform
+    (the accounting identities must survive dropped and duplicated tasks)
+    and one exercises kill-and-resume determinism.  Collect-mode
+    (`strict=False`): the caller reads the report instead of catching
+    exceptions.
     """
     engine = InvariantEngine(strict=False)
     registry = get_registry()
@@ -395,6 +504,38 @@ def run_invariant_suite(
                 engine.check_sweet_spot(
                     scores, result.selection.reference, k, c=1.5
                 )
+
+        # The same identities against an unreliable platform.
+        faulty_rng = make_rng(seed)
+        scores = faulty_rng.normal(0.0, 3.0, n_items)
+        faulty_config = ComparisonConfig(
+            confidence=0.95,
+            budget=300,
+            min_workload=10,
+            batch_size=20,
+            resilience=ResiliencePolicy(
+                fault=FaultPolicy(
+                    timeout_rate=0.1,
+                    loss_rate=0.05,
+                    duplicate_rate=0.05,
+                    outage_rate=0.02,
+                    seed=seed,
+                ),
+                retry=RetryPolicy(max_attempts=6, backoff_base=1),
+            ),
+        )
+        faulty = CrowdSession(
+            LatentScoreOracle(scores, GaussianNoise(1.0)), faulty_config, seed=seed
+        )
+        with engine.attach(faulty):
+            result = spr_topk(
+                faulty, list(range(n_items)), k, SPRConfig(sweet_spot=1.5)
+            )
+        engine.check_cache_moments(faulty.cache)
+        if result.partition_result is not None:
+            engine.check_partition(result.partition_result, list(range(n_items)))
+
+        check_resume_determinism(engine, seed=seed, n_items=n_items, k=k)
     report = engine.report()
     if not report.passed:
         registry.counter("validation_suite_failures_total", suite="invariants").inc()

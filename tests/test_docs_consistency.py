@@ -20,7 +20,7 @@ class TestDeliverablesPresent:
             "CONTRIBUTING.md", "CHANGELOG.md", "pyproject.toml",
             "docs/paper_mapping.md", "docs/cost_model.md",
             "docs/tutorial.md", "docs/extending.md",
-            "docs/observability.md",
+            "docs/observability.md", "docs/robustness.md",
         ],
     )
     def test_file_exists_and_non_trivial(self, name):

@@ -113,12 +113,12 @@ class TestSequentialEngine:
         assert grouped.spent() == manual.spent()
         assert grouped.cost.comparisons == manual.cost.comparisons
 
-    def test_compare_group_alias_dispatches_to_engine(self):
+    def test_compare_group_alias_deprecated_but_equivalent(self):
         alias = make_session("sequential")
         direct = make_session("sequential")
-        assert_records_equal(
-            alias.compare_group(GROUP), direct.compare_many(GROUP)
-        )
+        with pytest.warns(DeprecationWarning, match="compare_many"):
+            via_alias = alias.compare_group(GROUP)
+        assert_records_equal(via_alias, direct.compare_many(GROUP))
 
 
 class TestEngineParity:

@@ -102,7 +102,7 @@ class TestSessionIntegration:
         session = make_latent_session(
             [0.0, 2.0, 4.0, 0.1], sigma=1.0, batch_size=10
         )
-        session.compare_group([(1, 0), (2, 3)])
+        session.compare_many([(1, 0), (2, 3)])
         rounds = rounds_from_session(session)
         assert len(rounds) == session.total_rounds
         assert sum(rounds) == session.total_cost

@@ -7,6 +7,116 @@ import pytest
 
 import repro
 
+#: Pinned snapshot of every name ``repro`` exports, sorted.  The top-level
+#: package is the contract downstream code programs against; exports must
+#: change deliberately, not as a side effect of refactors.  If the snapshot
+#: test fails you either (a) removed or renamed a public name — a breaking
+#: change needing a deprecation path — or (b) added one, in which case
+#: update this list *and* document the newcomer.
+PUBLIC_API = [
+    "ALGORITHMS",
+    "AlgorithmError",
+    "BinaryOracle",
+    "BudgetExhaustedError",
+    "Comparator",
+    "ComparisonConfig",
+    "ComparisonRecord",
+    "ConfigError",
+    "CrowdSession",
+    "CrowdTopkError",
+    "DATASET_NAMES",
+    "Dataset",
+    "DatasetError",
+    "FaultInjector",
+    "FaultPolicy",
+    "HistogramOracle",
+    "ItemSet",
+    "JsonlSink",
+    "JudgmentCache",
+    "JudgmentOracle",
+    "LatentScoreOracle",
+    "MetricsRegistry",
+    "OracleError",
+    "Outcome",
+    "PartitionResult",
+    "QueryPlan",
+    "QueryTrace",
+    "RacingPool",
+    "RecordDatabaseOracle",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "SPRConfig",
+    "SPRResult",
+    "SelectionResult",
+    "TopKOutcome",
+    "UserTableOracle",
+    "__version__",
+    "cache_from_json",
+    "cache_to_json",
+    "crowdbt_topk",
+    "default_resilience",
+    "get_registry",
+    "heapsort_topk",
+    "hybrid_spr_topk",
+    "hybrid_topk",
+    "infimum_estimate",
+    "kendall_tau",
+    "load_cache",
+    "load_checkpoint",
+    "load_dataset",
+    "ndcg_at_k",
+    "partition",
+    "pbr_topk",
+    "plan_query",
+    "quickselect_topk",
+    "race_group",
+    "reference_sort",
+    "resume_spr_topk",
+    "run_golden_suite",
+    "run_guarantee_suite",
+    "run_invariant_suite",
+    "save_cache",
+    "save_checkpoint",
+    "select_reference",
+    "set_registry",
+    "spr_topk",
+    "top_k_precision",
+    "top_k_recall",
+    "tournament_topk",
+    "trace_session",
+    "use_registry",
+]
+
+
+class TestPublicApiSnapshot:
+    def test_all_matches_snapshot(self):
+        assert sorted(repro.__all__) == PUBLIC_API
+
+    def test_fault_tolerance_surface_is_public(self):
+        # The resilience / checkpoint surface added for fault-tolerant
+        # execution must stay importable from the package root.
+        for name in (
+            "FaultInjector",
+            "FaultPolicy",
+            "RetryPolicy",
+            "ResiliencePolicy",
+            "default_resilience",
+            "save_checkpoint",
+            "load_checkpoint",
+            "resume_spr_topk",
+            "race_group",
+            "run_invariant_suite",
+        ):
+            assert name in repro.__all__, name
+
+    def test_validation_entry_points_are_public(self):
+        for name in (
+            "run_golden_suite",
+            "run_guarantee_suite",
+            "run_invariant_suite",
+        ):
+            assert name in repro.__all__, name
+
 
 class TestTopLevelExports:
     def test_all_entries_resolve(self):

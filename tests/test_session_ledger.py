@@ -63,11 +63,11 @@ class TestLatencyLedger:
 
 
 class TestSession:
-    def test_compare_group_latency_is_max(self):
+    def test_compare_many_latency_is_max(self):
         session = make_latent_session(
             [0.0, 5.0, 0.2, 6.0], sigma=1.0, batch_size=5, seed=2
         )
-        records = session.compare_group([(1, 0), (3, 2)])
+        records = session.compare_many([(1, 0), (3, 2)])
         assert session.total_rounds == max(r.rounds for r in records)
         assert session.total_cost == sum(r.cost for r in records)
 

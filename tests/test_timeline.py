@@ -15,7 +15,7 @@ def session_with_spending(seed=0):
     session = make_latent_session(
         [0.0, 2.0, 4.0, 6.0, 0.1], sigma=1.0, seed=seed, batch_size=10
     )
-    session.compare_group([(1, 0), (3, 2)])
+    session.compare_many([(1, 0), (3, 2)])
     session.compare(4, 0)
     return session
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+import pytest
+
 from repro.cli import main
 from repro.validation.golden import default_golden_cases
 
@@ -23,6 +25,7 @@ def _validate(*extra: str) -> int:
 
 
 class TestExitCodes:
+    @pytest.mark.faultfree  # golden pins record fault-free traces
     def test_golden_suite_passes_against_checked_in_pins(self, capsys):
         assert _validate("--suite", "golden", "--golden-dir", GOLDEN_DIR) == 0
         out = capsys.readouterr().out
@@ -96,6 +99,7 @@ class TestReportArtifact:
         pooled = self._run(tmp_path / "pooled", "--jobs", "2")
         assert serial == pooled
 
+    @pytest.mark.faultfree  # runs the golden suite against fault-free pins
     def test_all_suites_appear_in_combined_report(self, tmp_path):
         report = tmp_path / "report.json"
         code = _validate(

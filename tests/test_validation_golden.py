@@ -95,6 +95,7 @@ class TestDiffTraces:
 
 
 class TestGoldenSuite:
+    @pytest.mark.faultfree  # golden pins record fault-free traces
     def test_checked_in_pins_still_match(self):
         # The real regression gate: current behavior vs the committed pins.
         with use_registry(MetricsRegistry()):

@@ -95,6 +95,7 @@ class TestRecordAudits:
         broken = dataclasses.replace(record, workload=over, cost=0)
         assert "record_budget_respected" in self._audit(broken, session)
 
+    @pytest.mark.faultfree  # under faults a below-budget tie is legal
     def test_tie_below_budget_flagged(self):
         session = make_latent_session([0.0, 1.0, 2.0, 3.0, 8.0], seed=5)
         record = _clean_record(session)
@@ -212,6 +213,7 @@ class TestStructuralChecks:
 
 
 class TestInvariantSuite:
+    @pytest.mark.faultfree  # suite reconciliation pins fault-free costs
     def test_full_spr_queries_run_clean(self):
         # The acceptance criterion: zero hard violations over real queries.
         with use_registry(MetricsRegistry()) as registry:
