@@ -72,6 +72,26 @@ _ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = _ROOT / "BENCH_parallel_runner.json"
 GROUP_OUTPUT = _ROOT / "BENCH_group_engine.json"
 FAULT_OUTPUT = _ROOT / "BENCH_fault_overhead.json"
+HISTORY_OUTPUT = _ROOT / "BENCH_history.jsonl"
+
+
+def _append_history(payload: dict, path: pathlib.Path) -> None:
+    """Append a compact one-line record of this run to the shared history.
+
+    The ``BENCH_*.json`` artifacts are overwritten on every run; the
+    history file accumulates one JSONL line per suite execution, so
+    timings are diffable across runs and machines (``jq`` over the file,
+    or plain ``git diff`` on the artifact).  Bulky per-run detail
+    (per-method aggregates) is dropped; headline figures stay.
+    """
+    record = {
+        key: value
+        for key, value in payload.items()
+        if key not in ("aggregates", "workload")
+    }
+    record["host"] = {"cpu_count": payload["host"]["cpu_count"]}
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
 
 #: The fixed workload: every method is confidence-aware and mid-cost, the
 #: cell is big enough that each run does real work (~seconds total).
@@ -189,6 +209,7 @@ def bench_group(args) -> int:
         "costs_reconcile": reconciled,
     }
     args.group_output.write_text(json.dumps(payload, indent=2) + "\n")
+    _append_history(payload, args.history)
     print(
         f"group-engine speedup: {speedup:.2f}x "
         f"(cost ratio {cost_ratio:.3f}) -> {args.group_output}"
@@ -298,6 +319,7 @@ def bench_faults(args) -> int:
         "overhead_under_5pct": overhead_ok,
     }
     args.fault_output.write_text(json.dumps(payload, indent=2) + "\n")
+    _append_history(payload, args.history)
     print(
         f"zero-fault overhead: {overhead * 100:.2f}% "
         f"(identical results: {identical}) -> {args.fault_output}"
@@ -334,6 +356,9 @@ def main(argv=None) -> int:
                         "(default 4000; --quick quarters it)")
     parser.add_argument("--fault-output", type=pathlib.Path,
                         default=FAULT_OUTPUT)
+    parser.add_argument("--history", type=pathlib.Path, default=HISTORY_OUTPUT,
+                        help="JSONL file accumulating one line per suite run "
+                        f"(default {HISTORY_OUTPUT.name})")
     args = parser.parse_args(argv)
 
     if args.suite in ("all", "group"):
@@ -387,6 +412,7 @@ def main(argv=None) -> int:
         "aggregates": serial_view,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    _append_history(payload, args.history)
     print(
         f"speedup: {speedup:.2f}x on {os.cpu_count()} CPUs "
         f"(identical aggregates: {identical}) -> {args.output}"

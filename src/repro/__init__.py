@@ -81,10 +81,15 @@ from .persistence import (
     save_checkpoint,
 )
 from .planner import QueryPlan, plan_query
+from .reports import ExplainReport, explain_query
 from .telemetry import (
+    FlightRecorder,
     JsonlSink,
     MetricsRegistry,
+    ObservatoryServer,
+    QueryBoard,
     get_registry,
+    parse_address,
     set_registry,
     use_registry,
 )
@@ -107,8 +112,10 @@ __all__ = [
     "DATASET_NAMES",
     "Dataset",
     "DatasetError",
+    "ExplainReport",
     "FaultInjector",
     "FaultPolicy",
+    "FlightRecorder",
     "HistogramOracle",
     "ItemSet",
     "JsonlSink",
@@ -116,9 +123,11 @@ __all__ = [
     "JudgmentOracle",
     "LatentScoreOracle",
     "MetricsRegistry",
+    "ObservatoryServer",
     "OracleError",
     "Outcome",
     "PartitionResult",
+    "QueryBoard",
     "RacingPool",
     "RecordDatabaseOracle",
     "ResiliencePolicy",
@@ -141,9 +150,11 @@ __all__ = [
     "cache_from_json",
     "cache_to_json",
     "default_resilience",
+    "explain_query",
     "get_registry",
     "load_cache",
     "load_checkpoint",
+    "parse_address",
     "partition",
     "plan_query",
     "race_group",

@@ -5,6 +5,8 @@ Three subcommands cover the common workflows without writing Python:
 * ``crowd-topk datasets`` — list the built-in synthetic datasets.
 * ``crowd-topk query`` — answer one top-k query with any method and print
   the result, its cost, and its quality against the ground truth.
+* ``crowd-topk explain`` — answer a traced query and print per-phase and
+  per-item cost attribution plus each returned item's comparison trail.
 * ``crowd-topk experiment`` — regenerate one of the paper's tables or
   figures at a chosen run count.
 * ``crowd-topk validate`` — run the statistical validation suites
@@ -17,6 +19,9 @@ Examples::
     crowd-topk query --method spr --telemetry /tmp/query.jsonl
     crowd-topk query --method spr --checkpoint /tmp/q.ckpt
     crowd-topk query --method spr --checkpoint /tmp/q.ckpt --resume
+    crowd-topk query --method spr --serve 127.0.0.1:9188
+    crowd-topk query --method spr --flight-recorder /tmp/flight.json
+    crowd-topk explain --dataset imdb -k 5 --n-items 60 --json
     crowd-topk -v experiment table7 --runs 3
     crowd-topk experiment fig8 --dataset book --runs 2
     crowd-topk experiment fig9 --runs 10 --jobs 4
@@ -28,8 +33,12 @@ processes (0 = one per CPU); results are bit-for-bit identical to the
 serial run (see docs/performance.md).
 
 ``--telemetry PATH`` streams phase spans to a JSONL file, appends the full
-metrics snapshot, and prints a summary table; ``-v`` / ``-vv`` raise the
-``repro`` logger to INFO / DEBUG (see docs/observability.md).
+metrics snapshot, and prints a summary table; ``--serve HOST:PORT`` keeps
+a live HTTP observatory (``/metrics``, ``/healthz``, ``/queries``,
+``/events``) up for the duration of the query; ``--flight-recorder PATH``
+dumps the bounded event ring to JSON on completion or crash; ``-v`` /
+``-vv`` raise the ``repro`` logger to INFO / DEBUG (see
+docs/observability.md).
 """
 
 from __future__ import annotations
@@ -63,7 +72,16 @@ from .experiments import (
 )
 from .metrics import ndcg_at_k, top_k_precision
 from .planner import plan_query
-from .telemetry import JsonlSink, MetricsRegistry, use_registry
+from .reports import explain_query
+from .telemetry import (
+    FlightRecorder,
+    JsonlSink,
+    MetricsRegistry,
+    ObservatoryServer,
+    parse_address,
+    use_registry,
+)
+from .tracing import trace_session
 from .validation import run_golden_suite, run_guarantee_suite, run_invariant_suite
 from .validation.golden import DEFAULT_GOLDEN_DIR
 from .validation.guarantees import DEFAULT_ALPHAS, DEFAULT_REPLICATIONS
@@ -134,6 +152,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="resume from --checkpoint instead of starting fresh; the "
         "resumed query reaches the identical top-k at identical total cost",
+    )
+    query.add_argument(
+        "--serve", metavar="HOST:PORT", default=None,
+        help="serve /metrics, /healthz, /queries and /events over HTTP "
+        "while the query runs (PORT alone binds 127.0.0.1; port 0 picks "
+        "an ephemeral port and prints it)",
+    )
+    query.add_argument(
+        "--flight-recorder", metavar="PATH", default=None,
+        help="record structured events in a bounded ring buffer; dump the "
+        "tail to PATH as JSON on completion or crash",
+    )
+
+    explain = commands.add_parser(
+        "explain",
+        help="answer one top-k query and explain where every microtask went",
+        description="Run a traced query and print per-phase and per-item "
+        "cost attribution plus the comparison trail supporting each "
+        "returned item.  Per-item costs plus the unattributed bucket "
+        "always sum exactly to the session's total monetary cost.",
+    )
+    explain.add_argument("--dataset", choices=DATASET_NAMES, default="jester")
+    explain.add_argument("--method", choices=sorted(ALGORITHMS), default="spr")
+    explain.add_argument("-k", type=int, default=10, help="result size")
+    explain.add_argument(
+        "--n-items", type=int, default=None, help="random item subset (default: all)"
+    )
+    explain.add_argument("--confidence", type=float, default=0.98)
+    explain.add_argument("--budget", type=int, default=1000)
+    explain.add_argument("--seed", type=int, default=0)
+    explain.add_argument(
+        "--json", action="store_true",
+        help="print the report as JSON instead of the table",
+    )
+    explain.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="also write the JSON report to PATH",
     )
 
     plan = commands.add_parser(
@@ -226,6 +281,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.resume and args.method != "spr":
         print("error: --resume only supports --method spr", file=sys.stderr)
         return 2
+    serve_address = None
+    if args.serve:
+        try:
+            serve_address = parse_address(args.serve)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     dataset = load_dataset(args.dataset)
     working = dataset.sample_items(args.n_items)
     k = args.k
@@ -243,39 +305,91 @@ def _cmd_query(args: argparse.Namespace) -> int:
     with use_registry(MetricsRegistry()) as registry:
         if sink is not None:
             registry.add_listener(sink.write_event)
-        if args.resume:
-            try:
-                session = CrowdSession.restore(args.checkpoint, dataset.oracle)
-            except (OSError, ValueError) as exc:
-                print(f"error: cannot resume from {args.checkpoint}: {exc}",
+        recorder = None
+        if args.flight_recorder or serve_address is not None:
+            recorder = FlightRecorder()
+            recorder.attach(registry=registry)
+        observatory = None
+        try:
+            if serve_address is not None:
+                try:
+                    observatory = ObservatoryServer(
+                        registry=registry,
+                        recorder=recorder,
+                        host=serve_address[0],
+                        port=serve_address[1],
+                    ).start()
+                except OSError as exc:
+                    print(f"error: cannot serve on {args.serve}: {exc}",
+                          file=sys.stderr)
+                    return 1
+                print(f"observatory serving at {observatory.url}",
                       file=sys.stderr)
-                return 1
-            spr_state = (session.restored_state or {}).get("query", {}).get("spr")
-            if spr_state is None:
-                print(f"error: {args.checkpoint} holds no resumable SPR query",
-                      file=sys.stderr)
-                return 1
-            # The original working set and k come from the checkpoint, so a
-            # resumed query answers exactly the question the killed one asked.
-            working = dataset.items.restrict(spr_state["items"])
-            k = int(spr_state["k"])
-            session.enable_checkpoints(args.checkpoint, args.checkpoint_every)
-            outcome = resume_spr_topk(session)
-        else:
-            params = ExperimentParams(
-                dataset=args.dataset,
-                n_items=args.n_items,
-                k=args.k,
-                confidence=args.confidence,
-                budget=args.budget,
-                n_runs=1,
-                seed=args.seed,
-            )
-            session = dataset.session(params.comparison_config(), seed=args.seed)
-            if args.checkpoint:
+            if args.resume:
+                try:
+                    session = CrowdSession.restore(args.checkpoint, dataset.oracle)
+                except (OSError, ValueError) as exc:
+                    print(f"error: cannot resume from {args.checkpoint}: {exc}",
+                          file=sys.stderr)
+                    return 1
+                spr_state = (
+                    (session.restored_state or {}).get("query", {}).get("spr")
+                )
+                if spr_state is None:
+                    print(
+                        f"error: {args.checkpoint} holds no resumable SPR query",
+                        file=sys.stderr,
+                    )
+                    return 1
+                # The original working set and k come from the checkpoint, so a
+                # resumed query answers exactly the question the killed one
+                # asked.
+                working = dataset.items.restrict(spr_state["items"])
+                k = int(spr_state["k"])
                 session.enable_checkpoints(args.checkpoint, args.checkpoint_every)
-            algorithm = ALGORITHMS[args.method]
-            outcome = algorithm(session, working.ids.tolist(), k)
+
+                def run() -> object:
+                    return resume_spr_topk(session)
+            else:
+                params = ExperimentParams(
+                    dataset=args.dataset,
+                    n_items=args.n_items,
+                    k=args.k,
+                    confidence=args.confidence,
+                    budget=args.budget,
+                    n_runs=1,
+                    seed=args.seed,
+                )
+                session = dataset.session(
+                    params.comparison_config(), seed=args.seed
+                )
+                if args.checkpoint:
+                    session.enable_checkpoints(
+                        args.checkpoint, args.checkpoint_every
+                    )
+                algorithm = ALGORITHMS[args.method]
+                items = working.ids.tolist()
+
+                def run() -> object:
+                    return algorithm(session, items, k)
+
+            if recorder is not None:
+                recorder.attach(session=session)
+            if observatory is not None:
+                observatory.queries.register(
+                    f"{args.dataset}:{args.method}:k={k}", session
+                )
+            if args.flight_recorder:
+                with recorder.guard(args.flight_recorder):
+                    outcome = run()
+                recorder.dump(args.flight_recorder, reason="completed")
+                print(f"flight recorder written to {args.flight_recorder}",
+                      file=sys.stderr)
+            else:
+                outcome = run()
+        finally:
+            if observatory is not None:
+                observatory.stop()
         if sink is not None:
             sink.write_snapshot(registry)
             sink.close()
@@ -293,6 +407,45 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print()
         print(registry.summary_table())
         print(f"telemetry written to {sink.path}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    working = dataset.sample_items(args.n_items)
+    params = ExperimentParams(
+        dataset=args.dataset,
+        n_items=args.n_items,
+        k=args.k,
+        confidence=args.confidence,
+        budget=args.budget,
+        n_runs=1,
+        seed=args.seed,
+    )
+    with use_registry(MetricsRegistry()) as registry:
+        session = dataset.session(params.comparison_config(), seed=args.seed)
+        algorithm = ALGORITHMS[args.method]
+        with trace_session(session) as trace:
+            outcome = algorithm(session, working.ids.tolist(), args.k)
+        report = explain_query(
+            session,
+            trace,
+            outcome.topk,
+            method=args.method,
+            k=args.k,
+            registry=registry,
+        )
+        microtasks = int(registry.counter_total("crowd_microtasks_total"))
+    print(report.to_json() if args.json else report.to_text())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+        print(f"report written to {args.output}", file=sys.stderr)
+    if not report.reconciles(microtasks):
+        print("warning: explain report does not reconcile with the ledgers",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -466,6 +619,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_datasets(args)
     if args.command == "query":
         return _cmd_query(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
     if args.command == "plan":
         return _cmd_plan(args)
     if args.command == "experiment":

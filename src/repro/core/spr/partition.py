@@ -179,6 +179,20 @@ def partition(
     owns_checkpoint = checkpointing and session.register_state_provider(
         "partition", _provider
     )
+
+    def _progress() -> dict:
+        # Cheap, read-only, safe at any instant — the observatory's
+        # /queries endpoint may call this from another thread mid-round.
+        return {
+            "reference": int(reference),
+            "reference_changes": changes,
+            "winners": len(winners),
+            "ties": len(ties),
+            "losers": len(losers),
+            "pool": pool.progress(step),
+        }
+
+    owns_progress = session.register_progress_provider("partition", _progress)
     try:
         while True:
             for idx, code in resolved_backlog:
@@ -219,6 +233,13 @@ def partition(
                 ties = []
                 pool_means = {}  # stale: measured vs the old reference
                 telemetry.counter("spr_reference_changes_total").inc()
+                telemetry.emit(
+                    "reference_change",
+                    old=int(reference),
+                    new=int(new_reference),
+                    change=changes + 1,
+                    restarting=len(restart),
+                )
                 logger.info(
                     "reference change %d: %d -> %d with %d pairs restarting",
                     changes + 1, reference, new_reference, len(restart),
@@ -235,6 +256,8 @@ def partition(
     finally:
         if owns_checkpoint:
             session.unregister_state_provider("partition")
+        if owns_progress:
+            session.unregister_progress_provider("partition")
 
     # Line 13: the reference is itself a top-k candidate when fewer than k
     # items beat it; otherwise it is dominated by k confirmed items.

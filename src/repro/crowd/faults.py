@@ -137,6 +137,7 @@ class FaultInjector(JudgmentOracle):
         down = bool(self.fault_rng.random() < self.policy.outage_rate)
         if down:
             self._fault_counters()["outage"].inc()
+            get_registry().emit("fault", mode="outage", count=1)
         return down
 
     def delivery_mask(self, rows: int, size: int) -> np.ndarray:
@@ -158,8 +159,10 @@ class FaultInjector(JudgmentOracle):
         n_lost = int(lost.sum())
         if n_timeout:
             counters["timeout"].inc(n_timeout)
+            get_registry().emit("fault", mode="timeout", count=n_timeout)
         if n_lost:
             counters["loss"].inc(n_lost)
+            get_registry().emit("fault", mode="loss", count=n_lost)
         return ~(timed_out | lost)
 
     def apply_duplicates(self, values: np.ndarray, valid: np.ndarray) -> int:
@@ -186,6 +189,7 @@ class FaultInjector(JudgmentOracle):
                 if picked.any():
                     values[picked, col] = values[picked, col - 1]
             self._fault_counters()["duplicate"].inc(count)
+            get_registry().emit("fault", mode="duplicate", count=count)
         return count
 
     def deliver(

@@ -281,6 +281,39 @@ class RacingPool:
         n = int(self.n[idx])
         return float(self.s1[idx] / n) if n else math.nan
 
+    def progress(self, step: int | None = None) -> dict:
+        """A cheap, read-only live snapshot for the observatory.
+
+        ``est_rounds_remaining`` is the worst-case schedule left: the
+        widest remaining per-pair budget divided by the round step.  An
+        upper bound — pairs usually resolve before exhausting B — but a
+        bound an operator can watch shrink.  Safe to call from another
+        thread mid-round: it only reads fixed-size arrays, so the worst
+        outcome is a one-round-stale number.
+        """
+        step = self.config.batch_size if step is None else int(step)
+        status = self.status
+        active = int(np.count_nonzero(status == ACTIVE))
+        decided = int(
+            np.count_nonzero(status == DECIDED_LEFT)
+            + np.count_nonzero(status == DECIDED_RIGHT)
+        )
+        ties = int(np.count_nonzero(status == TIE))
+        if active:
+            widest = int(self._budget - self.n[status == ACTIVE].min())
+            est_remaining = max(-(-widest // max(step, 1)), 1)
+        else:
+            est_remaining = 0
+        return {
+            "pairs": self.size,
+            "active": active,
+            "decided": decided,
+            "ties": ties,
+            "rounds_done": int(self._rounds_done),
+            "est_rounds_remaining": est_remaining,
+            "consumed_microtasks": int(self.n.sum()),
+        }
+
     # ------------------------------------------------------------------
     def round(self, step: int | None = None) -> list[tuple[int, int]]:
         """Advance every active pair by up to one batch of microtasks.
@@ -418,6 +451,12 @@ class RacingPool:
         self._telemetry.counter(
             "crowd_degraded_ties_total", reason="deadline"
         ).inc(int(active.size))
+        self._telemetry.emit(
+            "degraded_tie",
+            reason="deadline",
+            pairs=[[int(self.left[i]), int(self.right[i])] for i, _ in resolved],
+            round=int(self._rounds_done),
+        )
         return resolved
 
     def _register_failures(
@@ -440,6 +479,15 @@ class RacingPool:
             self._telemetry.counter(
                 "crowd_degraded_ties_total", reason="retries"
             ).inc(int(exhausted.size))
+            self._telemetry.emit(
+                "degraded_tie",
+                reason="retries",
+                pairs=[
+                    [int(self.left[int(i)]), int(self.right[int(i)])]
+                    for i in exhausted
+                ],
+                round=int(round_no),
+            )
         if retrying.size:
             waits = np.asarray(
                 [
@@ -450,6 +498,12 @@ class RacingPool:
             )
             self._eligible_round[retrying] = round_no + 1 + waits
             self._telemetry.counter("crowd_retries_total").inc(int(retrying.size))
+            self._telemetry.emit(
+                "retry",
+                pairs=int(retrying.size),
+                round=int(round_no),
+                max_backoff_rounds=int(waits.max()),
+            )
         return resolved
 
     def _faulty_round(self, step: int | None = None) -> list[tuple[int, int]]:

@@ -75,6 +75,7 @@ class CrowdSession:
         self._compare_listeners: list[CompareListener] = []
         self._instrument_cache: tuple | None = None
         self._state_providers: dict[str, StateProvider] = {}
+        self._progress_providers: dict[str, StateProvider] = {}
         self._checkpoint_path: str | os.PathLike | None = None
         self._checkpoint_every: int = 0
         self._last_checkpoint_rounds: int = 0
@@ -130,6 +131,60 @@ class CrowdSession:
         """Unsubscribe a compare listener (no-op when absent)."""
         if listener in self._compare_listeners:
             self._compare_listeners.remove(listener)
+
+    # ------------------------------------------------------------------
+    # live progress (read by the observatory's /queries endpoint)
+    # ------------------------------------------------------------------
+    def register_progress_provider(self, key: str, provider: StateProvider) -> bool:
+        """Install a live-progress provider under ``key``.
+
+        Same first-wins contract as :meth:`register_state_provider`, but a
+        *separate* namespace with looser demands: a progress provider is a
+        cheap, read-only, zero-argument callable returning a small
+        JSON-serializable dict, and it may be invoked from an HTTP scrape
+        thread at *any* moment — not only at round boundaries.  Providers
+        must therefore tolerate (and never mutate) in-flight state;
+        slightly stale numbers are fine, crashes are not
+        (:meth:`progress` converts exceptions into error entries).
+        """
+        if key in self._progress_providers:
+            return False
+        self._progress_providers[key] = provider
+        return True
+
+    def unregister_progress_provider(self, key: str) -> None:
+        """Remove the progress provider for ``key`` (no-op when absent)."""
+        self._progress_providers.pop(key, None)
+
+    def progress(self) -> dict:
+        """A JSON-ready live snapshot of this query's state.
+
+        Always carries the ledger view (cost spent vs. cap, rounds,
+        comparisons), the open telemetry span names (the current phase),
+        and degraded-tie totals; algorithm loops enrich it through
+        :meth:`register_progress_provider` (the SPR partition loop reports
+        its round, resolved/deferred counts, and estimated rounds
+        remaining).  Read-only and safe to call from another thread.
+        """
+        telemetry = self.telemetry
+        spans = telemetry.active_spans()
+        doc: dict = {
+            "phase": spans[-1] if spans else None,
+            "open_spans": spans,
+            "cost": self.cost.microtasks,
+            "budget_cap": self.cost.ceiling,
+            "budget_remaining": self.cost.remaining,
+            "rounds": self.latency.rounds,
+            "comparisons": self.cost.comparisons,
+            "degraded_ties": telemetry.counter_total("crowd_degraded_ties_total"),
+            "checkpoints": telemetry.counter_total("crowd_checkpoints_total"),
+        }
+        for key, provider in list(self._progress_providers.items()):
+            try:
+                doc[key] = provider()
+            except Exception as exc:  # a torn read mid-round: degrade, don't die
+                doc[key] = {"error": f"{type(exc).__name__}: {exc}"}
+        return doc
 
     # ------------------------------------------------------------------
     # comparisons
@@ -346,7 +401,14 @@ class CrowdSession:
             )
         save_checkpoint(self.checkpoint_state(), self.cache, path)
         self._last_checkpoint_rounds = self.latency.rounds
-        self.telemetry.counter("crowd_checkpoints_total").inc()
+        telemetry = self.telemetry
+        telemetry.counter("crowd_checkpoints_total").inc()
+        telemetry.emit(
+            "checkpoint",
+            path=str(path),
+            cost=self.cost.microtasks,
+            rounds=self.latency.rounds,
+        )
 
     @classmethod
     def restore(
@@ -432,6 +494,7 @@ class CrowdSession:
         clone._compare_listeners = []  # traces attach per-session, not per-bill
         clone._instrument_cache = None
         clone._state_providers = {}  # checkpoints are the root session's job
+        clone._progress_providers = {}  # likewise the live-progress roster
         clone._checkpoint_path = None
         clone._checkpoint_every = 0
         clone._last_checkpoint_rounds = 0

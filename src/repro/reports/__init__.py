@@ -1,0 +1,5 @@
+"""Human- and machine-readable reports derived from query telemetry."""
+
+from .explain import ExplainReport, ItemCost, TrailEntry, explain_query
+
+__all__ = ["ExplainReport", "ItemCost", "TrailEntry", "explain_query"]

@@ -10,6 +10,10 @@ phase time spent.  This package provides the instruments:
 * Sinks: :class:`JsonlSink` (machine-readable events + snapshots),
   ``registry.expose_text()`` (Prometheus text format) and
   ``registry.summary_table()`` (human digest).
+* Live serving: :class:`ObservatoryServer` exposes ``/metrics``,
+  ``/healthz``, ``/queries`` and ``/events`` over HTTP from a daemon
+  thread; :class:`FlightRecorder` keeps a bounded ring of structured
+  events and dumps it to JSON on crashes or on demand.
 * A process-wide default registry with injection points: hot paths call
   :func:`get_registry` at use time, so :func:`use_registry` can scope a
   fresh registry to one query, benchmark, or test without plumbing a
@@ -26,17 +30,23 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
+from .recorder import FlightRecorder
 from .registry import Counter, Gauge, Histogram, MetricsRegistry, Span
+from .server import ObservatoryServer, QueryBoard, parse_address
 from .sinks import JsonlSink, read_jsonl
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "JsonlSink",
     "MetricsRegistry",
+    "ObservatoryServer",
+    "QueryBoard",
     "Span",
     "get_registry",
+    "parse_address",
     "read_jsonl",
     "set_registry",
     "use_registry",

@@ -16,15 +16,19 @@ reproduction carries a first-class metrics layer:
 A :class:`MetricsRegistry` owns one family of each, keyed by metric name
 plus a frozen label set, and renders them as a JSON snapshot, a
 Prometheus-style text exposition, or an aligned summary table.  Metric
-updates are plain attribute arithmetic guarded only by the GIL — the
-simulator is single-threaded per query; cross-thread aggregation should
-use one registry per thread.
+*updates* are plain attribute arithmetic guarded only by the GIL — the
+simulator is single-threaded per query — but instrument *creation* and
+the read-side exports (:meth:`~MetricsRegistry.snapshot`,
+:meth:`~MetricsRegistry.expose_text`) take an internal lock, so an HTTP
+scrape thread (see :mod:`repro.telemetry.server`) can read mid-query
+without racing a family being installed under its feet.
 """
 
 from __future__ import annotations
 
 import math
 import random
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -57,6 +61,44 @@ def _label_suffix(labels: LabelSet) -> str:
 
 def _escape(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    """Escaping for ``# HELP`` text: backslash and newline only (the
+    exposition format leaves quotes alone outside label values)."""
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+#: Help strings emitted as ``# HELP`` lines for the library's own metric
+#: names.  Instruments outside this catalog can attach help text with
+#: :meth:`MetricsRegistry.describe`; nameless ones render without a HELP
+#: line, which the exposition format permits.
+METRIC_HELP: dict[str, str] = {
+    "crowd_comparisons_total": "Pairwise comparison processes resolved.",
+    "crowd_microtasks_total": "Judgments purchased (total monetary cost).",
+    "crowd_cache_hits_total": "Comparisons answered from the judgment cache.",
+    "crowd_budget_ties_total": "Comparisons that exhausted the per-pair budget.",
+    "crowd_groups_total": "Parallel comparison groups, by engine.",
+    "crowd_pool_rounds_total": "Vectorized racing rounds executed.",
+    "crowd_faults_total": "Injected platform faults, by mode.",
+    "crowd_retries_total": "Re-issued rounds after delivery failures.",
+    "crowd_degraded_ties_total": "Comparisons degraded to TIE by the resilience policy.",
+    "crowd_checkpoints_total": "Checkpoints atomically written.",
+    "oracle_judgments_total": "Raw judgments drawn from oracles.",
+    "oracle_wasted_judgments_total": "Exactly-tied binary judgments redrawn.",
+    "worker_careless_judgments_total": "Judgments contaminated by careless workers.",
+    "spr_reference_changes_total": "Reference-change events during partitioning.",
+    "spr_deferments_total": "Items deferred after tying with the reference.",
+    "spr_recursions_total": "Recursive SPR invocations.",
+    "experiment_runs_total": "Completed experiment runs per method.",
+    "crowd_comparison_workload": "Judgments consumed per comparison.",
+    "span_seconds": "Wall seconds per completed span.",
+    "span_cost": "Microtasks per completed span.",
+    "experiment_run_wall_seconds": "Wall seconds per experiment run.",
+    "experiment_run_cost": "Total monetary cost per experiment run.",
+    "observatory_requests_total": "HTTP requests served by the observatory.",
+    "flight_recorder_dumps_total": "Flight-recorder dumps written to disk.",
+}
 
 
 @dataclass
@@ -269,6 +311,23 @@ class MetricsRegistry:
         self.dropped_spans = 0
         self._span_stack: list[Span] = []
         self._listeners: list[Callable[[dict[str, object]], None]] = []
+        self._help: dict[str, str] = {}
+        # Guards family creation and the read-side exports against a
+        # concurrent scrape thread; value arithmetic stays lock-free.
+        self._lock = threading.RLock()
+
+    def __getstate__(self) -> dict:
+        # Worker registries travel back to the parent process (the
+        # parallel experiment engine); locks and listeners do not pickle
+        # and never transfer.
+        state = self.__dict__.copy()
+        state["_lock"] = None
+        state["_listeners"] = []
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # metric families
@@ -278,7 +337,8 @@ class MetricsRegistry:
         key = (name, _freeze_labels(labels))
         found = self._counters.get(key)
         if found is None:
-            found = self._counters[key] = Counter(name, key[1])
+            with self._lock:
+                found = self._counters.setdefault(key, Counter(name, key[1]))
         return found
 
     def gauge(self, name: str, **labels: object) -> Gauge:
@@ -286,7 +346,8 @@ class MetricsRegistry:
         key = (name, _freeze_labels(labels))
         found = self._gauges.get(key)
         if found is None:
-            found = self._gauges[key] = Gauge(name, key[1])
+            with self._lock:
+                found = self._gauges.setdefault(key, Gauge(name, key[1]))
         return found
 
     def histogram(self, name: str, **labels: object) -> Histogram:
@@ -294,13 +355,36 @@ class MetricsRegistry:
         key = (name, _freeze_labels(labels))
         found = self._histograms.get(key)
         if found is None:
-            found = self._histograms[key] = Histogram(name, key[1])
+            with self._lock:
+                found = self._histograms.setdefault(key, Histogram(name, key[1]))
         return found
 
     def counter_value(self, name: str, **labels: object) -> float:
         """Current value of a counter (0 when it was never touched)."""
         found = self._counters.get((name, _freeze_labels(labels)))
         return found.value if found is not None else 0.0
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter family across every label set."""
+        with self._lock:
+            return sum(
+                counter.value
+                for (counter_name, _), counter in self._counters.items()
+                if counter_name == name
+            )
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach ``# HELP`` text to metric family ``name``.
+
+        Library metric names carry defaults (:data:`METRIC_HELP`);
+        ``describe`` overrides those or documents custom instruments.
+        """
+        with self._lock:
+            self._help[name] = help_text
+
+    def help_for(self, name: str) -> str | None:
+        """The HELP text for ``name`` (explicit beats catalog; None if none)."""
+        return self._help.get(name) or METRIC_HELP.get(name)
 
     # ------------------------------------------------------------------
     # spans and timers
@@ -344,14 +428,41 @@ class MetricsRegistry:
             self._finish_span(span)
 
     def _finish_span(self, span: Span) -> None:
-        if len(self.spans) >= self.MAX_SPANS:
-            self.dropped_spans += 1
-        else:
-            self.spans.append(span)
+        with self._lock:
+            if len(self.spans) >= self.MAX_SPANS:
+                self.dropped_spans += 1
+            else:
+                self.spans.append(span)
         self.histogram("span_seconds", span=span.name).observe(span.seconds)
         if span.cost is not None:
             self.histogram("span_cost", span=span.name).observe(span.cost)
         event = {"type": "span", **span.to_dict()}
+        for listener in list(self._listeners):
+            listener(event)
+
+    def active_spans(self) -> list[str]:
+        """Names of the currently open spans, outermost first.
+
+        The innermost name is the live "phase" a progress endpoint
+        reports; safe to call from a scrape thread (a snapshot copy).
+        """
+        return [span.name for span in list(self._span_stack)]
+
+    # ------------------------------------------------------------------
+    # structured events (flight recorder / streaming sinks)
+    # ------------------------------------------------------------------
+    def emit(self, event_type: str, **fields: object) -> None:
+        """Broadcast a structured event to every listener.
+
+        Free when nobody listens — instrumented hot paths call this for
+        notable moments (reference change, degraded tie, retry, fault,
+        checkpoint) and pay only a truthiness check until a flight
+        recorder or JSONL sink subscribes.  Events never touch RNG or
+        ledgers, so recording cannot perturb a query.
+        """
+        if not self._listeners:
+            return
+        event = {"type": event_type, **fields}
         for listener in list(self._listeners):
             listener(event)
 
@@ -368,14 +479,16 @@ class MetricsRegistry:
     # listeners (streaming sinks subscribe here)
     # ------------------------------------------------------------------
     def add_listener(self, listener: Callable[[dict[str, object]], None]) -> None:
-        """Subscribe to telemetry events (span completions)."""
-        if listener not in self._listeners:
-            self._listeners.append(listener)
+        """Subscribe to telemetry events (span completions, :meth:`emit`)."""
+        with self._lock:
+            if listener not in self._listeners:
+                self._listeners.append(listener)
 
     def remove_listener(self, listener: Callable[[dict[str, object]], None]) -> None:
         """Unsubscribe a previously added listener (no-op when absent)."""
-        if listener in self._listeners:
-            self._listeners.remove(listener)
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
 
     # ------------------------------------------------------------------
     # merging (parallel experiment workers reconcile through this)
@@ -402,6 +515,8 @@ class MetricsRegistry:
         for other in others:
             if other is self:
                 raise ValueError("cannot merge a registry into itself")
+            with self._lock:
+                self._help.update(other._help)
             for (name, labels), counter in other._counters.items():
                 self.counter(name, **dict(labels)).inc(counter.value)
             for (name, labels), gauge in other._gauges.items():
@@ -421,6 +536,10 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, object]:
         """A JSON-ready snapshot of every metric and completed span."""
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> dict[str, object]:
         return {
             "counters": [
                 {"name": c.name, "labels": dict(c.labels), "value": c.value}
@@ -451,13 +570,24 @@ class MetricsRegistry:
 
         Counters and gauges render as their native types; histograms render
         as summaries (quantile-labelled samples plus ``_sum``/``_count``).
+        Each family opens with its ``# HELP`` line (when help text is
+        known — see :meth:`describe` and :data:`METRIC_HELP`) followed by
+        ``# TYPE``.  Thread-safe: the whole exposition renders under the
+        registry lock, so a scrape never interleaves with family creation.
         """
+        with self._lock:
+            return self._expose_text_locked()
+
+    def _expose_text_locked(self) -> str:
         lines: list[str] = []
         seen_types: set[str] = set()
 
         def header(name: str, kind: str) -> None:
             if name not in seen_types:
                 seen_types.add(name)
+                help_text = self.help_for(name)
+                if help_text:
+                    lines.append(f"# HELP {name} {_escape_help(help_text)}")
                 lines.append(f"# TYPE {name} {kind}")
 
         for _, counter in sorted(self._counters.items()):
@@ -488,6 +618,10 @@ class MetricsRegistry:
 
     def summary_table(self) -> str:
         """An aligned human-readable digest (printed by the CLI)."""
+        with self._lock:
+            return self._summary_table_locked()
+
+    def _summary_table_locked(self) -> str:
         lines: list[str] = ["telemetry summary", "-----------------"]
         if self._counters:
             lines.append("counters:")
@@ -532,14 +666,16 @@ class MetricsRegistry:
         return "\n".join(lines)
 
     def reset(self) -> None:
-        """Drop every metric, span, and listener."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
-        self.spans.clear()
-        self.dropped_spans = 0
-        self._span_stack.clear()
-        self._listeners.clear()
+        """Drop every metric, span, listener, and described help text."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self.spans.clear()
+            self.dropped_spans = 0
+            self._span_stack.clear()
+            self._listeners.clear()
+            self._help.clear()
 
 
 def _short(value: float) -> str:

@@ -1,0 +1,288 @@
+"""The live query observatory: a dependency-free HTTP metrics server.
+
+A research engine becomes an operable system the moment someone can watch
+it without attaching a debugger.  :class:`ObservatoryServer` wraps a
+stdlib :class:`~http.server.ThreadingHTTPServer` around the telemetry the
+library already produces and serves four read-only endpoints:
+
+``/metrics``
+    The registry's Prometheus text exposition (scrape it).
+``/healthz``
+    Liveness: ``{"status": "ok", "uptime_seconds": ...}``.
+``/queries``
+    Live progress of every registered query session — current phase,
+    partition round, items resolved/deferred, budget spent vs. cap,
+    degraded ties, estimated rounds remaining.
+``/events``
+    The flight recorder's tail (``?n=100`` bounds the window).
+
+Everything is read-only and lock-guarded, so continuous scraping cannot
+perturb a running query: same top-k, same cost, same RNG state as an
+unserved run — the serving-invariance integration test pins this.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
+from urllib.parse import parse_qs, urlsplit
+
+from .sinks import _jsonable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..crowd.session import CrowdSession
+    from .recorder import FlightRecorder
+    from .registry import MetricsRegistry
+
+__all__ = ["QueryBoard", "ObservatoryServer", "parse_address"]
+
+
+def parse_address(spec: str) -> tuple[str, int]:
+    """Parse ``HOST:PORT`` (or bare ``PORT``) into a bind address.
+
+    ``:0`` and ``0`` request an ephemeral port — the server publishes the
+    one the kernel handed out via :attr:`ObservatoryServer.port`.
+    """
+    spec = spec.strip()
+    host, sep, port = spec.rpartition(":")
+    if not sep:
+        host, port = "127.0.0.1", spec
+    host = host or "127.0.0.1"
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(
+            f"invalid serve address {spec!r}; expected HOST:PORT"
+        ) from None
+
+
+class QueryBoard:
+    """A thread-safe roster of live query sessions.
+
+    The observatory's ``/queries`` endpoint reads it; the CLI (or any
+    embedding service) registers each session under a stable name for the
+    duration of its query.  Sessions finished-but-not-unregistered keep
+    reporting their final state, which is handy for post-run scrapes.
+    """
+
+    def __init__(self) -> None:
+        self._sessions: dict[str, "CrowdSession"] = {}
+        self._lock = threading.Lock()
+
+    def register(self, name: str, session: "CrowdSession") -> None:
+        """Expose ``session`` as ``name`` (replaces a previous holder)."""
+        with self._lock:
+            self._sessions[name] = session
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` from the roster (no-op when absent)."""
+        with self._lock:
+            self._sessions.pop(name, None)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    def progress(self) -> dict:
+        """One JSON-ready document covering every registered query."""
+        with self._lock:
+            sessions = dict(self._sessions)
+        queries = []
+        for name in sorted(sessions):
+            try:
+                doc = sessions[name].progress()
+            except Exception as exc:  # torn mid-mutation read: report, don't die
+                doc = {"error": f"{type(exc).__name__}: {exc}"}
+            queries.append({"query": name, **doc})
+        return {"queries": queries}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the four observatory endpoints; everything else is 404."""
+
+    server: "_ObservatoryHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        split = urlsplit(self.path)
+        route = split.path.rstrip("/") or "/"
+        observatory = self.server.observatory
+        observatory._count_request(route)
+        if route == "/metrics":
+            self._send(200, observatory.registry.expose_text(),
+                       "text/plain; version=0.0.4; charset=utf-8")
+        elif route == "/healthz":
+            self._send_json(200, observatory.health())
+        elif route == "/queries":
+            self._send_json(200, observatory.queries.progress())
+        elif route == "/events":
+            params = parse_qs(split.query)
+            try:
+                n = int(params["n"][0]) if "n" in params else None
+            except ValueError:
+                self._send_json(400, {"error": "n must be an integer"})
+                return
+            self._send_json(200, observatory.events(n))
+        else:
+            self._send_json(404, {
+                "error": f"no route {route!r}",
+                "routes": ["/metrics", "/healthz", "/queries", "/events"],
+            })
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        self._send(status, json.dumps(payload, default=_jsonable) + "\n",
+                   "application/json; charset=utf-8")
+
+    def _send(self, status: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, *args: object) -> None:
+        """Silence per-request stderr chatter (metrics count requests)."""
+
+
+class _ObservatoryHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    #: Back-reference installed by :class:`ObservatoryServer.start`.
+    observatory: "ObservatoryServer"
+
+
+class ObservatoryServer:
+    """Serves telemetry over HTTP from a background daemon thread.
+
+    Parameters
+    ----------
+    registry:
+        The metrics registry ``/metrics`` exposes.  Defaults to the
+        process-wide registry *at serve time*, so ``use_registry`` scopes
+        apply.
+    queries:
+        The :class:`QueryBoard` behind ``/queries`` (a fresh empty board
+        by default).
+    recorder:
+        The :class:`~repro.telemetry.recorder.FlightRecorder` behind
+        ``/events`` (absent → the endpoint reports an empty tail).
+    host, port:
+        Bind address; port 0 asks the kernel for an ephemeral port.
+
+    Usable as a context manager: ``with ObservatoryServer(...) as obs:``
+    starts on entry and stops (joining the thread) on exit.
+    """
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry | None" = None,
+        queries: QueryBoard | None = None,
+        recorder: "FlightRecorder | None" = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._registry = registry
+        self.queries = queries if queries is not None else QueryBoard()
+        self.recorder = recorder
+        self.host = host
+        self.requested_port = port
+        self._httpd: _ObservatoryHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._started_at: float | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def registry(self) -> "MetricsRegistry":
+        if self._registry is not None:
+            return self._registry
+        from . import get_registry  # deferred: the package imports this module
+
+        return get_registry()
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves 0 once the server has started)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self.requested_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ObservatoryServer":
+        """Bind and serve from a daemon thread; returns self.
+
+        Binding failures (port in use, bad host) surface here, before
+        any query work starts.
+        """
+        if self._httpd is not None:
+            return self
+        httpd = _ObservatoryHTTPServer(
+            (self.host, self.requested_port), _Handler
+        )
+        httpd.observatory = self
+        self._httpd = httpd
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="crowd-topk-observatory",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down and join the serving thread (idempotent)."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "ObservatoryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # endpoint payloads (exposed for in-process use and tests)
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        uptime = (
+            time.monotonic() - self._started_at
+            if self._started_at is not None
+            else 0.0
+        )
+        return {
+            "status": "ok",
+            "uptime_seconds": round(uptime, 3),
+            "queries": self.queries.names(),
+            "recorder_events": (
+                self.recorder.events_seen if self.recorder is not None else 0
+            ),
+        }
+
+    def events(self, n: int | None = None) -> dict:
+        if self.recorder is None:
+            return {"capacity": 0, "events_seen": 0, "events": []}
+        document = self.recorder.to_dict()
+        if n is not None:
+            document["events"] = document["events"][-n:] if n > 0 else []
+        return document
+
+    def _count_request(self, route: str) -> None:
+        self.registry.counter("observatory_requests_total", route=route).inc()

@@ -15,6 +15,7 @@ only handles files.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import IO, TYPE_CHECKING
 
@@ -65,8 +66,18 @@ class JsonlSink:
         self.write_event({"type": "snapshot", **snapshot})
 
     def close(self) -> None:
-        """Close the underlying file (idempotent)."""
+        """Flush, fsync, and close the underlying file (idempotent).
+
+        The fsync pins every telemetry line to disk before the process
+        can exit, so a crash immediately after a query still leaves the
+        full snapshot readable — telemetry files double as audit trails.
+        """
         if self._handle is not None:
+            try:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            except (OSError, ValueError):  # pragma: no cover - exotic targets
+                pass  # pipes and pseudo-files may not support fsync
             self._handle.close()
             self._handle = None
 

@@ -98,6 +98,62 @@ class TestReadme:
         assert "setup.py develop" in read("README.md")
 
 
+class TestMetricCatalog:
+    """docs/observability.md's metric tables must match what the code
+    emits — both directions, so neither side can rot."""
+
+    #: Metric name literals the library creates instruments for.
+    SOURCE_METRIC = re.compile(
+        r'\.(?:counter|gauge|histogram)\(\s*\n?\s*"([a-z0-9_]+)"'
+    )
+    #: First-column `name` / `name{labels}` cells of the docs tables.
+    DOC_METRIC = re.compile(r"^\| `([a-z0-9_]+)(?:\{[^}]*\})?` \|", re.M)
+
+    def _source_names(self) -> set:
+        names = set()
+        for path in sorted((ROOT / "src" / "repro").rglob("*.py")):
+            names |= set(self.SOURCE_METRIC.findall(path.read_text()))
+        return names
+
+    def _doc_names(self) -> set:
+        # Only the "Metric catalog" section tables name metrics; later
+        # tables (flight-recorder event types, HTTP routes) do not.
+        text = read("docs/observability.md")
+        start = text.index("## Metric catalog")
+        end = text.index("\n## ", start + 1)
+        return set(self.DOC_METRIC.findall(text[start:end]))
+
+    def test_every_emitted_metric_is_documented(self):
+        undocumented = self._source_names() - self._doc_names()
+        assert not undocumented, (
+            f"metrics emitted but missing from docs/observability.md: "
+            f"{sorted(undocumented)}"
+        )
+
+    def test_every_documented_metric_is_emitted(self):
+        # Span names in the docs table are opened via span(), not
+        # counter()/histogram(), so exclude the span table's rows.
+        span_names = {"spr.select", "spr.partition", "spr.rank"}
+        phantom = {
+            name
+            for name in self._doc_names() - self._source_names()
+            if name not in span_names
+        }
+        assert not phantom, (
+            f"metrics documented in docs/observability.md but never "
+            f"emitted: {sorted(phantom)}"
+        )
+
+    def test_catalog_help_text_covers_no_phantom_metrics(self):
+        from repro.telemetry.registry import METRIC_HELP
+
+        phantom = set(METRIC_HELP) - self._source_names()
+        assert not phantom, (
+            f"METRIC_HELP entries without a matching instrument: "
+            f"{sorted(phantom)}"
+        )
+
+
 class TestPaperMapping:
     def test_mapped_modules_exist(self):
         mapping = read("docs/paper_mapping.md")

@@ -27,8 +27,10 @@ PUBLIC_API = [
     "DATASET_NAMES",
     "Dataset",
     "DatasetError",
+    "ExplainReport",
     "FaultInjector",
     "FaultPolicy",
+    "FlightRecorder",
     "HistogramOracle",
     "ItemSet",
     "JsonlSink",
@@ -36,9 +38,11 @@ PUBLIC_API = [
     "JudgmentOracle",
     "LatentScoreOracle",
     "MetricsRegistry",
+    "ObservatoryServer",
     "OracleError",
     "Outcome",
     "PartitionResult",
+    "QueryBoard",
     "QueryPlan",
     "QueryTrace",
     "RacingPool",
@@ -55,6 +59,7 @@ PUBLIC_API = [
     "cache_to_json",
     "crowdbt_topk",
     "default_resilience",
+    "explain_query",
     "get_registry",
     "heapsort_topk",
     "hybrid_spr_topk",
@@ -65,6 +70,7 @@ PUBLIC_API = [
     "load_checkpoint",
     "load_dataset",
     "ndcg_at_k",
+    "parse_address",
     "partition",
     "pbr_topk",
     "plan_query",
@@ -106,6 +112,19 @@ class TestPublicApiSnapshot:
             "resume_spr_topk",
             "race_group",
             "run_invariant_suite",
+        ):
+            assert name in repro.__all__, name
+
+    def test_observability_surface_is_public(self):
+        # The live-observatory surface: HTTP server, flight recorder,
+        # query board, and the explain-report builder.
+        for name in (
+            "ObservatoryServer",
+            "QueryBoard",
+            "FlightRecorder",
+            "ExplainReport",
+            "explain_query",
+            "parse_address",
         ):
             assert name in repro.__all__, name
 

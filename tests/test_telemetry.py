@@ -2,7 +2,9 @@
 
 import json
 import math
+import pickle
 import re
+import threading
 
 import numpy as np
 import pytest
@@ -43,6 +45,59 @@ class TestCounters:
     def test_same_name_and_labels_is_same_instance(self):
         registry = MetricsRegistry()
         assert registry.counter("c", a=1) is registry.counter("c", a=1)
+
+    def test_counter_total_sums_across_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("f_total", mode="a").inc(2)
+        registry.counter("f_total", mode="b").inc(3)
+        registry.counter("f_total").inc(1)
+        assert registry.counter_total("f_total") == 6
+        assert registry.counter_total("absent_total") == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_creation_and_exposition(self):
+        registry = MetricsRegistry()
+        errors = []
+
+        def hammer(worker):
+            try:
+                for i in range(200):
+                    registry.counter("c_total", worker=worker, i=i % 7).inc()
+                    registry.expose_text()
+                    registry.snapshot()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert registry.counter_total("c_total") == 800
+
+    def test_registry_pickles_without_lock_or_listeners(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(3)
+        registry.add_listener(lambda event: None)
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.counter_value("c_total") == 3
+        clone.counter("c_total").inc()  # the lock is recreated on unpickle
+        clone.expose_text()
+        assert clone.counter_value("c_total") == 4
+
+
+class TestEvents:
+    def test_emit_broadcasts_to_listeners(self):
+        registry = MetricsRegistry()
+        registry.emit("dropped")  # no listeners: a free no-op
+        seen = []
+        registry.add_listener(seen.append)
+        registry.emit("fault", mode="loss", count=2)
+        assert seen == [{"type": "fault", "mode": "loss", "count": 2}]
 
 
 class TestGauges:
@@ -148,7 +203,8 @@ class TestSpans:
 
 
 PROMETHEUS_LINE = re.compile(
-    r"^(?:# (?:HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* \w+"
+    r"^(?:# HELP [a-zA-Z_:][a-zA-Z0-9_:]* \S.*"
+    r"|# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* \w+"
     r"|[a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^}]*\})? (?:NaN|[+-]Inf|[-+0-9.eE]+))$"
 )
 
@@ -186,6 +242,40 @@ class TestExposition:
         registry = MetricsRegistry()
         registry.counter("c_total", path='a"b\\c').inc()
         assert 'c_total{path="a\\"b\\\\c"} 1' in registry.expose_text()
+
+    def test_help_line_precedes_type_for_catalog_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("crowd_microtasks_total").inc(5)
+        lines = registry.expose_text().splitlines()
+        help_idx = lines.index(
+            "# HELP crowd_microtasks_total "
+            "Judgments purchased (total monetary cost)."
+        )
+        assert lines[help_idx + 1] == "# TYPE crowd_microtasks_total counter"
+
+    def test_describe_overrides_catalog_help(self):
+        registry = MetricsRegistry()
+        registry.counter("crowd_microtasks_total").inc()
+        registry.describe("crowd_microtasks_total", "Custom text.")
+        text = registry.expose_text()
+        assert "# HELP crowd_microtasks_total Custom text." in text
+        assert "Judgments purchased" not in text
+
+    def test_help_text_escapes_backslash_and_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("weird_total").inc()
+        registry.describe("weird_total", "line one\nback\\slash")
+        text = registry.expose_text()
+        assert "# HELP weird_total line one\\nback\\\\slash" in text
+        for line in text.splitlines():
+            assert PROMETHEUS_LINE.match(line), line
+
+    def test_undescribed_custom_metric_has_no_help_line(self):
+        registry = MetricsRegistry()
+        registry.counter("anonymous_total").inc()
+        text = registry.expose_text()
+        assert "# TYPE anonymous_total counter" in text
+        assert "# HELP anonymous_total" not in text
 
     def test_summary_table_mentions_everything(self):
         registry = MetricsRegistry()
