@@ -57,10 +57,12 @@ from .crowd import (
     HistogramOracle,
     JudgmentOracle,
     LatentScoreOracle,
+    RacingLattice,
     RacingPool,
     RecordDatabaseOracle,
     UserTableOracle,
     race_group,
+    run_lattice,
 )
 from .datasets import DATASET_NAMES, Dataset, load_dataset
 from .errors import (
@@ -128,6 +130,7 @@ __all__ = [
     "Outcome",
     "PartitionResult",
     "QueryBoard",
+    "RacingLattice",
     "RacingPool",
     "RecordDatabaseOracle",
     "ResiliencePolicy",
@@ -161,6 +164,7 @@ __all__ = [
     "run_golden_suite",
     "run_guarantee_suite",
     "run_invariant_suite",
+    "run_lattice",
     "save_cache",
     "save_checkpoint",
     "set_registry",

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 from scipy import optimize
 
+from ..core.topk import top_k_indices
 from ..crowd.oracle import BinaryOracle
 from ..errors import AlgorithmError
 from .base import TopKOutcome, measured, validate_query
@@ -120,8 +121,7 @@ def crowdbt_topk(
     theta = fit_btl_scores(
         counts, regularization=regularization, max_iter=max_iter
     )
-    ranking = np.argsort(-theta, kind="stable")
-    topk = [ids[int(pos)] for pos in ranking[:k]]
+    topk = [ids[int(pos)] for pos in top_k_indices(theta, k)]
     return measured(
         "crowdbt",
         session,

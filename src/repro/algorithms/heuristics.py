@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..core.topk import top_k_indices
 from ..crowd.oracle import BinaryOracle
 from ..errors import AlgorithmError
 from .base import TopKOutcome, measured, validate_query
@@ -65,8 +66,7 @@ def _finish(
     session.charge_rounds(
         max(1, math.ceil(budget / max(len(ids), 1) / session.config.batch_size))
     )
-    ranking = np.argsort(-np.asarray(scores), kind="stable")
-    topk = [ids[int(pos)] for pos in ranking[:k]]
+    topk = [ids[int(pos)] for pos in top_k_indices(np.asarray(scores), k)]
     return measured(method, session, topk, before, extras)
 
 

@@ -25,6 +25,7 @@ Examples::
     crowd-topk -v experiment table7 --runs 3
     crowd-topk experiment fig8 --dataset book --runs 2
     crowd-topk experiment fig9 --runs 10 --jobs 4
+    crowd-topk experiment fig9 --runs 10 --engine lattice
     crowd-topk validate --suite guarantees --jobs 4 --report report.json
     crowd-topk validate --suite golden --update-golden
 
@@ -56,6 +57,7 @@ from .crowd.session import CrowdSession
 from .datasets import DATASET_NAMES, load_dataset
 from .experiments import (
     ExperimentParams,
+    use_engine,
     use_jobs,
     run_accuracy,
     run_appendix_d,
@@ -78,6 +80,7 @@ from .telemetry import (
     JsonlSink,
     MetricsRegistry,
     ObservatoryServer,
+    get_query_board,
     parse_address,
     use_registry,
 )
@@ -218,6 +221,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan runs out over N worker processes (0 = one per CPU, "
         "default 1 = serial); results are bit-for-bit identical",
     )
+    experiment.add_argument(
+        "--engine", choices=("pool", "lattice"), default=None,
+        help="execution engine for the independent runs: 'pool' (serial "
+        "at --jobs 1, process pool above) or 'lattice' (fused in-process "
+        "racing of all runs; bit-identical results, no extra processes); "
+        "default: the CROWD_TOPK_ENGINE environment variable, else pool",
+    )
 
     validate = commands.add_parser(
         "validate",
@@ -315,6 +325,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 try:
                     observatory = ObservatoryServer(
                         registry=registry,
+                        queries=get_query_board(),
                         recorder=recorder,
                         host=serve_address[0],
                         port=serve_address[1],
@@ -534,10 +545,11 @@ _EXPERIMENTS = {
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    # Install the requested parallelism ambiently: every harness entry
-    # point resolves n_jobs=None against it, so --jobs reaches all of
-    # them without threading a flag through each signature.
-    with use_jobs(args.jobs):
+    # Install the requested parallelism and engine ambiently: every
+    # harness entry point resolves n_jobs=None / engine=None against
+    # them, so --jobs and --engine reach all of them without threading
+    # flags through each signature.
+    with use_jobs(args.jobs), use_engine(args.engine):
         for report in _EXPERIMENTS[args.name](args):
             print(report.to_text())
             print()

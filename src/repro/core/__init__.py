@@ -4,6 +4,7 @@ from .cache import JudgmentCache
 from .comparison import Comparator, ComparisonRecord
 from .items import ItemSet
 from .outcomes import Outcome
+from .topk import top_k_indices
 
 __all__ = [
     "Comparator",
@@ -11,4 +12,5 @@ __all__ = [
     "ItemSet",
     "JudgmentCache",
     "Outcome",
+    "top_k_indices",
 ]

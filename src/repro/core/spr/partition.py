@@ -21,8 +21,11 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from ...crowd.pool import RacingPool
 from ...errors import AlgorithmError
+from ..topk import top_k_indices
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ...crowd.session import CrowdSession
@@ -78,8 +81,11 @@ def _kth_best_winner(
         if mean is None:
             _, mean, _ = session.moments(item, reference)
         means.append(mean if math.isfinite(mean) else math.inf)
-    ranked = sorted(zip(means, winners), key=lambda pair: -pair[0])
-    return ranked[k - 1][1]
+    # Stable selection of the k-th largest mean: argpartition-based, with
+    # ties resolved toward the earlier winner exactly like the stable
+    # full sort this replaced.
+    kth = top_k_indices(np.asarray(means, dtype=np.float64), k)[-1]
+    return winners[int(kth)]
 
 
 def partition(

@@ -1,0 +1,54 @@
+"""Partial-selection top-k: ``argpartition`` with full-sort semantics.
+
+Every "take the k best by score" site in the library used
+``np.argsort(-values, kind="stable")[:k]`` — an O(N log N) full sort for
+an O(N) selection problem.  :func:`top_k_indices` returns the *identical*
+index sequence via ``np.argpartition`` + an O(k log k) ordering of the
+survivors, which is the textbook selection idiom for top-k queries over
+large score vectors.
+
+The tricky part is exactness, not speed: ``argpartition`` breaks ties at
+the k-boundary arbitrarily, while the stable full sort admits the
+*lowest-indexed* holders of the boundary value.  The implementation
+therefore re-derives the boundary membership explicitly, so callers can
+swap a full sort for this function without perturbing a single pinned
+trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["top_k_indices"]
+
+
+def top_k_indices(values: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest entries, in descending-value order.
+
+    Bit-for-bit equivalent to ``np.argsort(-values, kind="stable")[:k]``:
+    descending by value, ties broken by ascending index, including at the
+    k-boundary.  ``k`` is clamped to ``[0, len(values)]``.  NaN entries
+    sort last (as the full sort does) via an explicit full-sort fallback —
+    correctness over speed on that rare path.
+    """
+    values = np.asarray(values)
+    n = values.size
+    k = max(0, min(int(k), n))
+    if k == 0:
+        return np.empty(0, dtype=np.intp)
+    if k >= n or (values.dtype.kind == "f" and np.isnan(values).any()):
+        return np.argsort(-values, kind="stable")[:k].astype(np.intp, copy=False)
+
+    # Unordered top-k: everything left of the partition point is >= the
+    # boundary value (ties at the boundary chosen arbitrarily).
+    part = np.argpartition(-values, k - 1)[:k]
+    threshold = values[part].min()
+    above = np.flatnonzero(values > threshold)
+    # flatnonzero yields ascending indices, so truncating keeps exactly
+    # the lowest-indexed boundary holders — the stable sort's choice.
+    at_threshold = np.flatnonzero(values == threshold)[: k - above.size]
+    cand = np.concatenate([above, at_threshold])
+    # Order survivors: value descending, index ascending (lexsort keys
+    # are applied last-first).
+    order = np.lexsort((cand, -values[cand]))
+    return cand[order].astype(np.intp, copy=False)

@@ -1,0 +1,269 @@
+"""One racing lattice for everything: fused multi-query racing rounds.
+
+BENCH_group_engine.json showed that batching a *single* query's pairs into
+one vectorized round buys 6.5× over sequential comparisons, while
+BENCH_parallel_runner.json showed a process pool buys nothing (the
+bottleneck is per-round Python overhead, not CPU count).  The remaining
+fixed cost is per *query*: every racing pool still pays one oracle call,
+one ``decision_codes`` pass and one activity mask per round.  The lattice
+removes that by racing R independent runs in bulk-synchronous lockstep —
+the paper's "keep the whole crowd busy every round" regime (§5.5) lifted
+from one query's pairs to a whole experiment's runs.
+
+How it works
+------------
+Each *lane* is an unmodified zero-argument callable (an experiment run, a
+``spr_topk`` call, anything that races pools) executed on its own thread
+under its own thread-local :class:`~repro.telemetry.MetricsRegistry`.
+Threads buy no parallelism under the GIL and are not meant to: they exist
+solely to suspend a lane mid-``round()``.  When a lane's
+:class:`~repro.crowd.pool.RacingPool` reaches a fault-free round it plans
+the round itself — consuming *its own* session RNG for the oracle draw,
+exactly as serial execution would — then parks on the lattice barrier.
+Once every live lane is parked, the submitting thread evaluates all
+pending rounds in **one** stacked, padded numpy pass
+(:func:`~repro.crowd.pool._evaluate_plans`): one stopping-rule evaluation
+across all runs instead of one per run.  Lanes then wake and apply their
+own verdicts, caches and charges under their own registries.
+
+Because planning (all RNG consumption) and applying (all state mutation)
+stay on the lane, each lane's judgment stream, costs, verdicts and
+telemetry are **bit-for-bit identical** to running it alone; the fused
+kernel only regroups *which* numpy call computes each row.  Lane
+registries are merged into the ambient registry in lane order afterwards,
+matching the process-pool merge contract.
+
+Per-lane sessions are registered on the default
+:class:`~repro.telemetry.QueryBoard` for the duration of the run, so a
+live observatory scrape of ``/queries`` shows every lane's progress.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable, Sequence
+
+from ..telemetry import MetricsRegistry, get_query_board, get_registry
+from ..telemetry import use_thread_registry
+from .pool import RacingPool, _evaluate_plans
+
+__all__ = ["RacingLattice", "current_lattice", "run_lattice", "LATTICE_MAX_LANES"]
+
+#: Default cap on lanes racing at once; wider batches pad more rows per
+#: kernel pass than they fuse, and thread count should stay bounded.
+LATTICE_MAX_LANES = 16
+
+_tls = threading.local()
+
+
+def current_lattice() -> "RacingLattice | None":
+    """The lattice the *current thread* races under, if any.
+
+    ``RacingPool.round`` consults this to route fault-free rounds through
+    the fused kernel; outside a lane thread it is always ``None``, so
+    plain serial execution never pays for the lattice.
+    """
+    return getattr(_tls, "lattice", None)
+
+
+class _Lane:
+    """One racing thread's slot: task, isolation, rendezvous state."""
+
+    __slots__ = (
+        "index", "name", "fn", "registry", "result", "error",
+        "session", "plan", "eval", "event", "registered",
+    )
+
+    def __init__(self, index: int, name: str, fn: Callable[[], Any]) -> None:
+        self.index = index
+        self.name = name
+        self.fn = fn
+        self.registry = MetricsRegistry()
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self.session = None
+        self.plan = None
+        self.eval = None
+        self.event = threading.Event()
+        self.registered = False
+
+
+class RacingLattice:
+    """Races independent tasks in bulk-synchronous fused rounds.
+
+    Parameters
+    ----------
+    tasks:
+        Zero-argument callables, one per lane.  Each runs unmodified; any
+        fault-free :meth:`RacingPool.round` it performs is transparently
+        routed through the fused kernel.
+    name:
+        Roster prefix for the default query board (lanes appear as
+        ``{name}/lane{i}``).
+
+    :meth:`run` blocks until every lane finishes and returns their results
+    in task order.  A lane that raises stops only itself; the first error
+    (in lane order) is re-raised after all lanes have wound down, matching
+    serial semantics for single-task failures.
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence[Callable[[], Any]],
+        *,
+        name: str = "lattice",
+    ) -> None:
+        self.name = name
+        self._lanes = [
+            _Lane(i, f"{name}/lane{i}", fn) for i, fn in enumerate(tasks)
+        ]
+        self._cond = threading.Condition()
+        self._alive = 0
+        self._pending: list[_Lane] = []
+        self._batches = 0
+
+    # ------------------------------------------------------------------
+    # lane side (called from lane threads via RacingPool.round)
+    # ------------------------------------------------------------------
+    def submit_round(
+        self, pool: RacingPool, step: int | None
+    ) -> list[tuple[int, int]]:
+        """One pool round from a lane: plan locally, evaluate fused.
+
+        The lane draws its own samples (its RNG, its round counters) and
+        parks; the thread that releases the barrier evaluates every parked
+        lane's round in one pass.  The lane then applies the verdicts
+        itself, under its own registry.
+        """
+        lane: _Lane | None = getattr(_tls, "lane", None)
+        if lane is None:  # not a lane thread: fall back to the local path
+            resolved, plan = pool._plan_round(step)
+            if plan is None:
+                return resolved
+            return pool._apply_round(plan, _evaluate_plans([plan])[0])
+        resolved, plan = pool._plan_round(step)
+        if plan is None:
+            return resolved
+        if not lane.registered:
+            lane.session = pool.session
+            lane.registered = True
+            get_query_board().register(lane.name, pool.session)
+        lane.event.clear()
+        lane.plan = plan
+        with self._cond:
+            self._pending.append(lane)
+            self._cond.notify_all()
+        lane.event.wait()
+        ev = lane.eval
+        lane.plan = None
+        lane.eval = None
+        if isinstance(ev, BaseException):  # kernel-side evaluation failure
+            raise ev
+        return pool._apply_round(plan, ev)
+
+    def _lane_main(self, lane: _Lane) -> None:
+        _tls.lattice = self
+        _tls.lane = lane
+        try:
+            with use_thread_registry(lane.registry):
+                lane.result = lane.fn()
+        except BaseException as exc:  # noqa: BLE001 - re-raised by run()
+            lane.error = exc
+        finally:
+            _tls.lattice = None
+            _tls.lane = None
+            with self._cond:
+                self._alive -= 1
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # kernel side
+    # ------------------------------------------------------------------
+    def run(self) -> list[Any]:
+        """Race all lanes to completion; returns results in task order.
+
+        The calling thread acts as the kernel: it parks until every live
+        lane has a round pending, evaluates the batch in one fused numpy
+        pass, and releases the lanes.  Lane registries (all per-lane
+        telemetry) are merged into the ambient registry in lane order
+        before returning, and lane sessions leave the query board.
+        """
+        lanes = self._lanes
+        if not lanes:
+            return []
+        ambient = get_registry()
+        self._alive = len(lanes)
+        threads = [
+            threading.Thread(
+                target=self._lane_main,
+                args=(lane,),
+                name=f"{self.name}-lane{lane.index}",
+                daemon=True,
+            )
+            for lane in lanes
+        ]
+        board = get_query_board()
+        try:
+            for thread in threads:
+                thread.start()
+            while True:
+                with self._cond:
+                    self._cond.wait_for(
+                        lambda: self._alive == 0
+                        or (self._alive > 0 and len(self._pending) >= self._alive)
+                    )
+                    if self._alive == 0 and not self._pending:
+                        break
+                    batch = self._pending
+                    self._pending = []
+                # Evaluate outside the lock: lanes are all parked on their
+                # events, nothing mutates racing state concurrently.
+                try:
+                    evals = _evaluate_plans([lane.plan for lane in batch])
+                except BaseException as exc:  # deliver, never strand a lane
+                    evals = [exc] * len(batch)
+                else:
+                    self._batches += 1
+                    ambient.counter("crowd_lattice_rounds_total").inc()
+                for lane, ev in zip(batch, evals):
+                    lane.eval = ev
+                    lane.event.set()
+        finally:
+            for thread in threads:
+                thread.join()
+            for lane in lanes:
+                if lane.registered:
+                    board.unregister(lane.name)
+            ambient.gauge("crowd_lattice_lanes").set(len(lanes))
+            ambient.merge(*[lane.registry for lane in lanes])
+        for lane in lanes:
+            if lane.error is not None:
+                raise lane.error
+        return [lane.result for lane in lanes]
+
+    @property
+    def batches(self) -> int:
+        """Fused kernel passes executed so far (for tests/telemetry)."""
+        return self._batches
+
+
+def run_lattice(
+    tasks: Iterable[Callable[[], Any]],
+    *,
+    name: str = "lattice",
+    max_lanes: int | None = None,
+) -> list[Any]:
+    """Race ``tasks`` through lattices of at most ``max_lanes`` lanes each.
+
+    Chunks are formed in task order and run one after another, so results
+    (and registry merge order) are deterministic regardless of the cap.
+    """
+    limit = LATTICE_MAX_LANES if max_lanes is None else int(max_lanes)
+    if limit < 1:
+        raise ValueError(f"max_lanes must be >= 1, got {limit}")
+    tasks = list(tasks)
+    results: list[Any] = []
+    for start in range(0, len(tasks), limit):
+        chunk = tasks[start : start + limit]
+        results.extend(RacingLattice(chunk, name=name).run())
+    return results

@@ -30,13 +30,161 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..config import ComparisonConfig
-from ..core.estimators import SteinTester, make_tester
+from ..core.estimators import HoeffdingTester, SteinTester, make_tester
 from ..core.estimators.base import sample_variance
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .session import CrowdSession
 
 __all__ = ["RacingPool"]
+
+
+class _RoundPlan:
+    """One pool's pending round: the draw is taken, evaluation is not.
+
+    Produced by :meth:`RacingPool._plan_round` (which consumes the pool's
+    RNG and bumps its round counter) and consumed by
+    :func:`_evaluate_plans`; the split lets a :class:`RacingLattice` fuse
+    the evaluation of many pools' rounds into one stacked numpy pass
+    while each lane keeps drawing from its own stream.
+    """
+
+    __slots__ = ("pool", "active", "step", "remaining", "draw")
+
+    def __init__(self, pool, active, step, remaining, draw):
+        self.pool = pool
+        self.active = active
+        self.step = step
+        self.remaining = remaining
+        self.draw = draw
+
+
+class _RoundEval:
+    """The stopping-rule outcome of one planned round, ready to apply."""
+
+    __slots__ = ("first", "consumed", "new_n", "new_s1", "new_s2", "codes_at_first")
+
+    def __init__(self, first, consumed, new_n, new_s1, new_s2, codes_at_first):
+        self.first = first
+        self.consumed = consumed
+        self.new_n = new_n
+        self.new_s1 = new_s1
+        self.new_s2 = new_s2
+        self.codes_at_first = codes_at_first
+
+
+def _evaluate_plans(plans: "list[_RoundPlan]") -> "list[_RoundEval]":
+    """Evaluate many pools' planned rounds in fused stacked passes.
+
+    Plans whose testers are interchangeable (same rule and parameters;
+    see ``RacingPool._eval_sig``) are padded to a common width and run
+    through **one** ``decision_codes``/``frozen_codes`` call, which is
+    where the per-round fixed cost lives.  Per-row masks reproduce each
+    plan's own step and budget clamp, so every row's outcome is
+    bit-identical to evaluating its plan alone — the single-plan call in
+    :meth:`RacingPool.round` is literally this function with one entry.
+
+    Pure numpy over state captured in the plans: safe to call from a
+    kernel thread while the submitting lanes are parked.
+    """
+    evals: list[_RoundEval | None] = [None] * len(plans)
+    groups: dict[tuple, list[int]] = {}
+    for pos, plan in enumerate(plans):
+        groups.setdefault(plan.pool._eval_sig, []).append(pos)
+    for sig, members in groups.items():
+        group = [plans[pos] for pos in members]
+        for pos, ev in zip(members, _evaluate_group(sig, group)):
+            evals[pos] = ev
+    return evals
+
+
+def _evaluate_group(sig: tuple, plans: "list[_RoundPlan]") -> "list[_RoundEval]":
+    """Fused evaluation of plans sharing one tester signature."""
+    sizes = [plan.active.size for plan in plans]
+    total = int(sum(sizes))
+    width = max(plan.step for plan in plans)
+    bounds = np.cumsum([0] + sizes)
+    slices = [slice(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:])]
+
+    n0 = np.concatenate([plan.pool.n[plan.active] for plan in plans])
+    s10 = np.concatenate([plan.pool.s1[plan.active] for plan in plans])
+    s20 = np.concatenate([plan.pool.s2[plan.active] for plan in plans])
+    # Per-row evaluation horizon: a plan's own step, clamped to the pair's
+    # remaining budget — the fused equivalent of the per-plan
+    # ``over_budget`` mask plus the plan's matrix width.
+    cap = np.concatenate(
+        [np.minimum(plan.step, plan.remaining) for plan in plans]
+    ).astype(np.int64)
+    workload = np.concatenate(
+        [
+            np.full(plan.active.size, plan.pool.config.min_workload, dtype=np.int64)
+            for plan in plans
+        ]
+    )
+    draw_pad = np.zeros((total, width), dtype=np.float64)
+    for plan, rows in zip(plans, slices):
+        draw_pad[rows, : plan.step] = plan.draw
+
+    counts = np.arange(1, width + 1, dtype=np.int64)
+    n_mat = n0[:, None] + counts[None, :]
+    s1_mat = s10[:, None] + np.cumsum(draw_pad, axis=1)
+    s2_mat = s20[:, None] + np.cumsum(np.square(draw_pad), axis=1)
+
+    if sig[0] == "stein":
+        stage = sig[3]
+        # Capture first-stage crossing variances per plan before deciding;
+        # the crossing column depends only on the row, so the fused
+        # matrices hold exactly the per-plan values.
+        for plan, rows in zip(plans, slices):
+            pool = plan.pool
+            active = plan.active
+            n_before = pool.n[active]
+            reach = np.minimum(plan.step, plan.remaining)
+            crossing = np.flatnonzero(
+                np.isnan(pool._stage_var[active])
+                & (n_before < stage)
+                & (n_before + reach >= stage)
+            )
+            if crossing.size:
+                grow = rows.start + crossing
+                cols = (stage - n_before[crossing] - 1).astype(np.intp)
+                at_n = n_mat[grow, cols]
+                at_mean = s1_mat[grow, cols] / at_n
+                var = sample_variance(at_n, at_mean, s2_mat[grow, cols])
+                pool._stage_var[active[crossing]] = var
+        stage_var = np.concatenate(
+            [plan.pool._stage_var[plan.active] for plan in plans]
+        )
+        codes = SteinTester.frozen_codes(
+            n_mat, s1_mat / n_mat, stage_var[:, None], stage - 1, sig[1], sig[2]
+        )
+    else:
+        codes = plans[0].pool._tester.decision_codes(n_mat, s1_mat / n_mat, s2_mat)
+    codes = np.where(n_mat >= workload[:, None], codes, 0)
+    codes = np.where(counts[None, :] > cap[:, None], 0, codes)
+
+    has_decision = codes != 0
+    any_decision = has_decision.any(axis=1)
+    first = np.where(any_decision, has_decision.argmax(axis=1), width)
+    consumed = np.where(any_decision, first + 1, cap).astype(np.int64)
+    rows_all = np.arange(total)
+    last = consumed - 1
+    new_n = n_mat[rows_all, last]
+    new_s1 = s1_mat[rows_all, last]
+    new_s2 = s2_mat[rows_all, last]
+    codes_at_first = codes[rows_all, np.minimum(first, width - 1)]
+
+    return [
+        _RoundEval(
+            first[rows],
+            consumed[rows],
+            new_n[rows],
+            new_s1[rows],
+            new_s2[rows],
+            codes_at_first[rows],
+        )
+        for rows in slices
+    ]
 
 ACTIVE = 0
 DECIDED_LEFT = 1
@@ -87,6 +235,17 @@ class RacingPool:
         self._tester = make_tester(self.config, session.oracle.value_range)
         self._budget = self.config.effective_budget
         self._telemetry = session.telemetry
+        # Fused-evaluation grouping key: plans from pools with equal keys
+        # may share one stacked decision_codes call (see _evaluate_plans).
+        tester = self._tester
+        if isinstance(tester, SteinTester):
+            self._eval_sig = (
+                "stein", tester.alpha, tester.epsilon, self.config.min_workload
+            )
+        elif isinstance(tester, HoeffdingTester):
+            self._eval_sig = ("codes", type(tester), tester.alpha, tester.value_range)
+        else:
+            self._eval_sig = ("codes", type(tester), tester.alpha)
 
         count = len(pairs)
         self.left = np.asarray([p[0] for p in pairs], dtype=np.int64)
@@ -326,11 +485,29 @@ class RacingPool:
         """
         if self._injector is not None:
             return self._faulty_round(step)
+        from .lattice import current_lattice  # deferred: lattice imports pool
+
+        lattice = current_lattice()
+        if lattice is not None:
+            return lattice.submit_round(self, step)
+        resolved, plan = self._plan_round(step)
+        if plan is None:
+            return resolved
+        return self._apply_round(plan, _evaluate_plans([plan])[0])
+
+    def _plan_round(self, step: int | None = None):
+        """Draw one fault-free round's samples without evaluating them.
+
+        Returns ``(resolved, None)`` when the round terminates without an
+        evaluation (pool done, or the latency deadline expired every
+        pair), else ``(None, plan)`` with the oracle draw taken and the
+        round counter advanced — all of the pool's RNG consumption.
+        """
         active = self.active_indices
         if active.size == 0:
-            return []
+            return [], None
         if self._deadline is not None and self._rounds_done >= self._deadline:
-            return self._expire_deadline(active)
+            return self._expire_deadline(active), None
         step = self.config.batch_size if step is None else int(step)
         if step < 1:
             raise ValueError(f"step must be >= 1, got {step}")
@@ -343,30 +520,19 @@ class RacingPool:
         draw = self.session.oracle.draw_pairs(
             self.left[active], self.right[active], step, self.session.rng
         )
-        counts = np.arange(1, step + 1, dtype=np.int64)
-        n_mat = self.n[active, None] + counts[None, :]
-        s1_mat = self.s1[active, None] + np.cumsum(draw, axis=1)
-        s2_mat = self.s2[active, None] + np.cumsum(np.square(draw), axis=1)
-        if self._stein:
-            reach = np.minimum(n_mat.shape[1], remaining)
-            codes = self._stein_codes(active, n_mat, s1_mat, s2_mat, reach)
-        else:
-            codes = self._tester.decision_codes(n_mat, s1_mat / n_mat, s2_mat)
-        codes = np.where(n_mat >= self.config.min_workload, codes, 0)
-        over_budget = counts[None, :] > remaining[:, None]
-        codes = np.where(over_budget, 0, codes)
+        return None, _RoundPlan(self, active, step, remaining, draw)
 
-        has_decision = codes != 0
-        first = np.where(has_decision.any(axis=1), has_decision.argmax(axis=1), step)
-        consumed = np.where(
-            first < step, first + 1, np.minimum(step, remaining)
-        ).astype(np.int64)
-
-        rows = np.arange(active.size)
-        last = consumed - 1
-        self.n[active] = n_mat[rows, last]
-        self.s1[active] = s1_mat[rows, last]
-        self.s2[active] = s2_mat[rows, last]
+    def _apply_round(
+        self, plan: _RoundPlan, ev: _RoundEval
+    ) -> list[tuple[int, int]]:
+        """Commit an evaluated round: state, statuses, cache, charges."""
+        active = plan.active
+        step = plan.step
+        first = ev.first
+        consumed = ev.consumed
+        self.n[active] = ev.new_n
+        self.s1[active] = ev.new_s1
+        self.s2[active] = ev.new_s2
 
         cache = self.session.cache if self.use_cache else None
         resolved: list[tuple[int, int]] = []
@@ -376,7 +542,7 @@ class RacingPool:
         )
         for row in decided_rows:
             idx = int(active[row])
-            code = int(codes[row, first[row]])
+            code = int(ev.codes_at_first[row])
             self.status[idx] = DECIDED_LEFT if code > 0 else DECIDED_RIGHT
             resolved.append((idx, code))
         for row in exhausted_rows:
@@ -389,14 +555,14 @@ class RacingPool:
                 cache.append(
                     int(self.left[idx]),
                     int(self.right[idx]),
-                    draw[row, : consumed[row]],
+                    plan.draw[row, : consumed[row]],
                 )
 
         self.session.charge_cost(int(consumed.sum()))
         if self.charge_latency:
             self.session.charge_rounds(1)
         self._telemetry.counter("crowd_pool_rounds_total").inc()
-        self._telemetry.counter("oracle_judgments_total").inc(int(draw.size))
+        self._telemetry.counter("oracle_judgments_total").inc(int(plan.draw.size))
         if exhausted_rows.size:
             self._telemetry.counter("crowd_budget_ties_total").inc(
                 int(exhausted_rows.size)

@@ -48,6 +48,7 @@ class ExperimentParams:
     min_workload: int = 30
     batch_size: int = 30
     estimator: str = "student"
+    group_engine: str = "racing"
     sweet_spot: float = 1.5
     max_reference_changes: int = 2
     n_runs: int = 10
@@ -72,6 +73,7 @@ class ExperimentParams:
             min_workload=self.min_workload,
             batch_size=self.batch_size,
             estimator=self.estimator,  # type: ignore[arg-type]
+            group_engine=self.group_engine,  # type: ignore[arg-type]
         )
 
     def spr_config(self) -> SPRConfig:

@@ -27,12 +27,13 @@ library emits.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Iterator
 
 from .recorder import FlightRecorder
 from .registry import Counter, Gauge, Histogram, MetricsRegistry, Span
-from .server import ObservatoryServer, QueryBoard, parse_address
+from .server import ObservatoryServer, QueryBoard, get_query_board, parse_address
 from .sinks import JsonlSink, read_jsonl
 
 __all__ = [
@@ -45,19 +46,28 @@ __all__ = [
     "ObservatoryServer",
     "QueryBoard",
     "Span",
+    "get_query_board",
     "get_registry",
     "parse_address",
     "read_jsonl",
     "set_registry",
     "use_registry",
+    "use_thread_registry",
 ]
 
 #: The process-wide default registry; never None.
 _registry: MetricsRegistry = MetricsRegistry()
 
+#: Per-thread override; lattice lanes get their own registry so that
+#: concurrently racing runs never interleave counters (see crowd/lattice.py).
+_tls = threading.local()
+
 
 def get_registry() -> MetricsRegistry:
-    """The currently installed process-wide registry."""
+    """The currently installed registry (thread-local first, then global)."""
+    local = getattr(_tls, "registry", None)
+    if local is not None:
+        return local
     return _registry
 
 
@@ -83,3 +93,25 @@ def use_registry(registry: MetricsRegistry | None = None) -> Iterator[MetricsReg
         yield registry
     finally:
         set_registry(previous)
+
+
+@contextmanager
+def use_thread_registry(
+    registry: MetricsRegistry | None = None,
+) -> Iterator[MetricsRegistry]:
+    """Scope a registry to the *current thread* for a ``with`` block.
+
+    Unlike :func:`use_registry` (which swaps the process-wide default and
+    is therefore racy under threads), this installs the registry as a
+    thread-local override that :func:`get_registry` resolves first.  The
+    racing lattice wraps each lane in one of these so concurrently racing
+    runs account their own counters; the lane registries are merged into
+    the ambient registry in deterministic order afterwards.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    previous = getattr(_tls, "registry", None)
+    _tls.registry = registry
+    try:
+        yield registry
+    finally:
+        _tls.registry = previous

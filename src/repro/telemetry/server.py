@@ -37,7 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .recorder import FlightRecorder
     from .registry import MetricsRegistry
 
-__all__ = ["QueryBoard", "ObservatoryServer", "parse_address"]
+__all__ = ["QueryBoard", "ObservatoryServer", "get_query_board", "parse_address"]
 
 
 def parse_address(spec: str) -> tuple[str, int]:
@@ -98,6 +98,24 @@ class QueryBoard:
                 doc = {"error": f"{type(exc).__name__}: {exc}"}
             queries.append({"query": name, **doc})
         return {"queries": queries}
+
+
+#: Process-wide default board.  Publishers that outlive any single server
+#: (the racing lattice's lanes, the CLI's ``--serve`` query) meet here, so
+#: an observatory constructed over :func:`get_query_board` sees them all.
+_default_board = QueryBoard()
+
+
+def get_query_board() -> QueryBoard:
+    """The process-wide default :class:`QueryBoard`.
+
+    :class:`ObservatoryServer` still defaults to a private empty board —
+    embedders that want the shared roster pass ``queries=get_query_board()``
+    (the CLI's ``--serve`` does).  The racing lattice registers each lane's
+    session here for the duration of a run, so a live ``/queries`` scrape
+    shows per-lane progress.
+    """
+    return _default_board
 
 
 class _Handler(BaseHTTPRequestHandler):

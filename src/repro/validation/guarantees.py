@@ -47,6 +47,7 @@ import numpy as np
 from ..config import ComparisonConfig, SPRConfig
 from ..core.outcomes import Outcome
 from ..core.spr import expected_precision_lower_bound, partition, spr_topk
+from ..core.topk import top_k_indices
 from ..crowd.oracle import LatentScoreOracle
 from ..crowd.session import CrowdSession
 from ..crowd.workers import GaussianNoise
@@ -244,8 +245,7 @@ def _partition_replication(
     ground truth for every pair.
     """
     scores = rng.normal(0.0, _SCORE_SPREAD, _PARTITION_N)
-    order = np.argsort(-scores, kind="stable")
-    reference = int(order[_PARTITION_K])  # true rank k+1
+    reference = int(top_k_indices(scores, _PARTITION_K + 1)[-1])  # true rank k+1
     oracle = LatentScoreOracle(scores, GaussianNoise(1.0))
     config = ComparisonConfig(confidence=1.0 - alpha, **_PHASE_CONFIG)
     session = CrowdSession(oracle, config, seed=rng)
@@ -274,8 +274,7 @@ def _partition_replication(
 def _spr_replication(alpha: float, rng: np.random.Generator) -> _ReplicationOutcome:
     """One full SPR query; each result slot is a recall trial."""
     scores = rng.normal(0.0, _SCORE_SPREAD, _SPR_N)
-    order = np.argsort(-scores, kind="stable")
-    true_topk = {int(i) for i in order[:_SPR_K]}
+    true_topk = {int(i) for i in top_k_indices(scores, _SPR_K)}
     oracle = LatentScoreOracle(scores, GaussianNoise(1.0))
     config = ComparisonConfig(confidence=1.0 - alpha, **_PHASE_CONFIG)
     session = CrowdSession(oracle, config, seed=rng)

@@ -1,0 +1,101 @@
+"""200-seed parity of the racing lattice against serial execution.
+
+Two claims at population scale, statistical tier (``pytest -m
+statistical``):
+
+* **Exact parity** — the lattice is designed to be bit-identical per
+  lane, so over 200 seeds every fused query must reproduce its serial
+  twin's top-k, cost and rounds *exactly*.  This is far stronger than a
+  distributional check and catches any fusion bug (padding, signature
+  grouping, RNG ordering) that happens to survive the handful of tier-1
+  seeds.
+* **Distributional parity vs the sequential engine** — lattice lanes
+  race (racing group engine), so against the historical sequential
+  engine only the distribution is comparable: over the same 200 seeds
+  the mean spend and mean recall must agree within the same bands the
+  racing-vs-sequential parity suite uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ComparisonConfig
+from repro.core.spr import spr_topk
+from repro.crowd.lattice import run_lattice
+from repro.crowd.oracle import LatentScoreOracle
+from repro.crowd.session import CrowdSession
+from repro.crowd.workers import GaussianNoise
+
+pytestmark = pytest.mark.statistical
+
+SEEDS = 200
+N_ITEMS, K = 12, 3
+
+
+def seed_scores(seed: int) -> np.ndarray:
+    return np.random.default_rng(seed + 5000).normal(0.0, 2.5, N_ITEMS)
+
+
+def run_query(seed: int, engine: str = "racing"):
+    oracle = LatentScoreOracle(seed_scores(seed), GaussianNoise(1.0))
+    config = ComparisonConfig(
+        confidence=0.95, budget=150, min_workload=5, batch_size=10,
+        group_engine=engine,
+    )
+    session = CrowdSession(oracle, config, seed=seed)
+    result = spr_topk(session, list(range(N_ITEMS)), K)
+    return result, session
+
+
+def summarize(seed: int, engine: str = "racing"):
+    result, session = run_query(seed, engine)
+    return (tuple(result.topk), session.total_cost, session.total_rounds)
+
+
+def recall(topk, scores) -> float:
+    truth = {int(i) for i in np.argsort(-scores, kind="stable")[:K]}
+    return len(set(topk) & truth) / K
+
+
+class TestLatticeExactParity:
+    def test_200_seeds_bit_identical_to_serial(self):
+        serial = [summarize(seed) for seed in range(SEEDS)]
+        fused = run_lattice(
+            [lambda seed=seed: summarize(seed) for seed in range(SEEDS)]
+        )
+        mismatches = [
+            (seed, serial[seed], fused[seed])
+            for seed in range(SEEDS)
+            if serial[seed] != fused[seed]
+        ]
+        assert not mismatches, f"{len(mismatches)} seeds diverged: " + repr(
+            mismatches[:5]
+        )
+
+
+class TestLatticeVsSequentialDistribution:
+    def test_mean_cost_and_recall_agree_over_200_seeds(self):
+        costs = {"lattice": [], "sequential": []}
+        recalls = {"lattice": [], "sequential": []}
+
+        fused = run_lattice(
+            [lambda seed=seed: summarize(seed) for seed in range(SEEDS)]
+        )
+        for seed, (topk, cost, _rounds) in enumerate(fused):
+            costs["lattice"].append(cost)
+            recalls["lattice"].append(recall(topk, seed_scores(seed)))
+        for seed in range(SEEDS):
+            topk, cost, _rounds = summarize(seed, engine="sequential")
+            costs["sequential"].append(cost)
+            recalls["sequential"].append(recall(topk, seed_scores(seed)))
+
+        mean_cost = {e: float(np.mean(c)) for e, c in costs.items()}
+        mean_recall = {e: float(np.mean(r)) for e, r in recalls.items()}
+        assert mean_cost["lattice"] == pytest.approx(
+            mean_cost["sequential"], rel=0.15
+        )
+        assert abs(mean_recall["lattice"] - mean_recall["sequential"]) <= 0.15
+        for engine, value in mean_recall.items():
+            assert value >= 0.8, f"{engine} mean recall {value} collapsed"

@@ -45,6 +45,7 @@ PUBLIC_API = [
     "QueryBoard",
     "QueryPlan",
     "QueryTrace",
+    "RacingLattice",
     "RacingPool",
     "RecordDatabaseOracle",
     "ResiliencePolicy",
@@ -81,6 +82,7 @@ PUBLIC_API = [
     "run_golden_suite",
     "run_guarantee_suite",
     "run_invariant_suite",
+    "run_lattice",
     "save_cache",
     "save_checkpoint",
     "select_reference",
