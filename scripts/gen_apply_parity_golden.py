@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Regenerate ``tests/golden/apply_parity.json``.
+
+Run this ONLY on a tree whose apply-path behaviour is known-good (the
+fixture pins bit-for-bit parity across refactors — see
+``tests/test_apply_parity.py``).  Regeneration must be justified in the
+PR that does it.
+
+Usage::
+
+    PYTHONPATH=src:tests python scripts/gen_apply_parity_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "tests"))
+
+from test_apply_parity import GOLDEN_PATH, SEEDS, run_case  # noqa: E402
+
+
+def main() -> None:
+    cases = {}
+    for variant in sorted(SEEDS):
+        for seed in range(SEEDS[variant]):
+            cases[f"{variant}:{seed}"] = run_case(variant, seed)
+        print(f"{variant}: {SEEDS[variant]} seeds", file=sys.stderr)
+    GOLDEN_PATH.write_text(
+        json.dumps(
+            {"description": "apply-path bit-parity digests", "cases": cases},
+            indent=1,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    print(f"wrote {GOLDEN_PATH} ({len(cases)} cases)", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -38,6 +38,17 @@ class _Bag:
         return cls(np.empty(capacity, dtype=np.float64), 0)
 
     def append(self, values: np.ndarray) -> None:
+        self.extend_raw(values, float(values.sum()), float(np.square(values).sum()))
+
+    def extend_raw(self, values: np.ndarray, s1_delta: float, s2_delta: float) -> None:
+        """Append ``values`` with their moment deltas already reduced.
+
+        The batched apply path computes ``Σv`` / ``Σv²`` for many bags in
+        grouped array passes (see :meth:`JudgmentCache.append_rows`);
+        ``extend_raw`` lets it hand those in instead of re-reducing per
+        bag.  Callers must supply deltas bit-identical to
+        ``values.sum()`` / ``np.square(values).sum()``.
+        """
         needed = self.size + len(values)
         if needed > len(self.buffer):
             capacity = max(needed, 2 * len(self.buffer))
@@ -46,11 +57,15 @@ class _Bag:
             self.buffer = grown
         self.buffer[self.size : needed] = values
         self.size = needed
-        self.s1 += float(values.sum())
-        self.s2 += float(np.square(values).sum())
+        self.s1 += float(s1_delta)
+        self.s2 += float(s2_delta)
 
     def view(self) -> np.ndarray:
         return self.buffer[: self.size]
+
+
+#: Shared zero-length bag returned for cache misses in bulk lookups.
+_EMPTY_BAG = np.empty(0, dtype=np.float64)
 
 
 class JudgmentCache:
@@ -59,6 +74,11 @@ class JudgmentCache:
     def __init__(self) -> None:
         self._bags: dict[tuple[int, int], _Bag] = {}
         self._total = 0
+        # Batches queued by :meth:`defer_rows`, applied in arrival order by
+        # :meth:`_drain` before any read or direct write touches the bags.
+        self._pending: list[
+            tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = []
 
     @staticmethod
     def _key(i: int, j: int) -> tuple[tuple[int, int], float]:
@@ -70,6 +90,8 @@ class JudgmentCache:
 
     def count(self, i: int, j: int) -> int:
         """Number of judgments stored for the pair ``{i, j}``."""
+        if self._pending:
+            self._drain()
         key, _ = self._key(i, j)
         bag = self._bags.get(key)
         return bag.size if bag is not None else 0
@@ -77,6 +99,8 @@ class JudgmentCache:
     def bag(self, i: int, j: int) -> np.ndarray:
         """All stored judgments oriented as ``v(o_i, o_j)`` (copy-free when
         the orientation is canonical)."""
+        if self._pending:
+            self._drain()
         key, sign = self._key(i, j)
         bag = self._bags.get(key)
         if bag is None:
@@ -84,8 +108,37 @@ class JudgmentCache:
         values = bag.view()
         return values if sign > 0 else -values
 
+    def bags_for(
+        self, lefts: np.ndarray, rights: np.ndarray
+    ) -> "list[np.ndarray]":
+        """Oriented judgment views for many pairs in one pass.
+
+        Equivalent to ``[self.bag(i, j) for i, j in zip(lefts, rights)]``
+        but pays the drain guard and key canonicalisation once instead of
+        per pair — this is what keeps racing-pool construction cheap when
+        an experiment builds hundreds of pools against a warm cache.
+
+        Trusted internal path: no self-pairs (the pool validated its
+        pairs); misses share one module-level empty array.
+        """
+        if self._pending:
+            self._drain()
+        bags = self._bags
+        out: list[np.ndarray] = []
+        for i, j in zip(lefts.tolist(), rights.tolist()):
+            bag = bags.get((i, j) if i < j else (j, i))
+            if bag is None:
+                out.append(_EMPTY_BAG)
+            elif i < j:
+                out.append(bag.buffer[: bag.size])
+            else:
+                out.append(-bag.buffer[: bag.size])
+        return out
+
     def append(self, i: int, j: int, values: np.ndarray) -> None:
         """Store new judgments expressed in the ``v(o_i, o_j)`` orientation."""
+        if self._pending:
+            self._drain()
         values = np.asarray(values, dtype=np.float64)
         if values.size == 0:
             return
@@ -97,6 +150,199 @@ class JudgmentCache:
         bag.append(values if sign > 0 else -values)
         self._total += len(values)
 
+    def append_rows(
+        self,
+        lefts: np.ndarray,
+        rights: np.ndarray,
+        values: np.ndarray,
+        counts: np.ndarray,
+    ) -> None:
+        """Store one padded matrix of judgments across many pairs at once.
+
+        Row ``r`` contributes ``values[r, :counts[r]]`` to the bag of
+        ``(lefts[r], rights[r])`` — exactly equivalent to calling
+        :meth:`append` per row in row order, but the per-bag moments
+        (``Σv``, ``Σv²``) are reduced in grouped array passes instead of
+        one reduction per pair.  Rows are grouped by their consumed count
+        so every row's sum runs over the *same slice shape* numpy's
+        pairwise summation would see in the per-row call — the batched
+        moments are bit-identical, not merely close (pinned by
+        tests/test_cache.py and the apply-parity golden).
+        """
+        if self._pending:
+            self._drain()
+        counts_list = (
+            counts.tolist() if isinstance(counts, np.ndarray) else list(counts)
+        )
+        rows = len(counts_list)
+        if rows == 0:
+            return
+        values = np.asarray(values, dtype=np.float64)
+        if rows <= 8:
+            # Typical late rounds race a handful of survivors; per-row
+            # scalar reductions (exactly :meth:`_Bag.append`'s math) beat
+            # the batch machinery's fixed dispatch cost there.
+            s1_list = s2_list = None
+        else:
+            squares = np.square(values)
+            first = counts_list[0]
+            if all(count == first for count in counts_list):
+                # The common wide round: every pair consumed the full
+                # step, so one sliced reduction covers all rows with no
+                # gather copies.
+                if first == 0:
+                    return
+                s1 = np.sum(values[:, :first], axis=1)
+                s2 = np.sum(squares[:, :first], axis=1)
+            else:
+                counts = np.asarray(counts_list, dtype=np.int64)
+                s1 = np.zeros(rows, dtype=np.float64)
+                s2 = np.zeros(rows, dtype=np.float64)
+                for width in np.unique(counts):
+                    if width == 0:
+                        continue
+                    group = np.flatnonzero(counts == width)
+                    s1[group] = np.sum(values[group, :width], axis=1)
+                    s2[group] = np.sum(squares[group, :width], axis=1)
+            s1_list, s2_list = s1.tolist(), s2.tolist()
+
+        bags = self._bags
+        total = 0
+        for row, (i, j, width) in enumerate(
+            zip(lefts.tolist(), rights.tolist(), counts_list)
+        ):
+            if width == 0:
+                continue
+            if i == j:
+                raise ValueError(f"cannot compare item {i} with itself")
+            key, flip = ((i, j), False) if i < j else ((j, i), True)
+            bag = bags.get(key)
+            if bag is None:
+                bag = _Bag.empty(max(32, width))
+                bags[key] = bag
+            chunk = values[row, :width]
+            if s1_list is None:
+                row_s1 = float(chunk.sum())
+                row_s2 = float(np.square(chunk).sum())
+            else:
+                row_s1 = s1_list[row]
+                row_s2 = s2_list[row]
+            if flip:
+                # Negation is exact, and -Σv == Σ(-v) bit for bit.
+                bag.extend_raw(-chunk, -row_s1, row_s2)
+            else:
+                bag.extend_raw(chunk, row_s1, row_s2)
+            total += width
+        self._total += total
+
+    def defer_rows(
+        self,
+        lefts: np.ndarray,
+        rights: np.ndarray,
+        values: np.ndarray,
+        counts: np.ndarray,
+    ) -> None:
+        """Queue one :meth:`append_rows`-shaped batch for a later bulk apply.
+
+        The racing pool's per-round commit hands its consumed draws here:
+        the round pays one list append, and the accumulated batches are
+        folded into the bags the moment anything next looks at the cache
+        (every read and direct-write entry point drains first, so no
+        caller can observe a stale bag).  Deferral only moves the work in
+        time — batches are applied in arrival order with per-chunk moment
+        deltas bit-identical to an immediate :meth:`append` per row.
+
+        Trusted internal path: rows are assumed well-formed (float64
+        matrix, ``counts[r] <= values.shape[1]``, no self-pairs — the
+        pool validated its pairs at construction).
+        """
+        self._pending.append((lefts, rights, values, counts))
+
+    def settle(self) -> None:
+        """Fold every deferred batch into the bags right now.
+
+        Reads drain automatically; this is for callers about to bypass
+        the public read API (serializers, tests poking at internals).
+        """
+        if self._pending:
+            self._drain()
+
+    def _drain(self) -> None:
+        """Apply the deferred batches in arrival order.
+
+        The moment deltas of every row across *all* batches are reduced
+        first, grouped by consumed width so each stacked ``np.sum`` sees
+        the same reduction length the per-row call would — bit-identical
+        sums, a few array passes total.  The bag commits then replay
+        chronologically with operator-only index arithmetic (the loop body
+        is :meth:`_Bag.extend_raw` inlined), so bag contents, sizes and
+        running moments match an eager row-by-row append exactly.
+        """
+        pending = self._pending
+        self._pending = []
+        jobs: list[tuple[int, int, int, np.ndarray]] = []
+        by_width: dict[int, list[int]] = {}
+        for lefts, rights, values, counts in pending:
+            lefts_list = lefts.tolist()
+            rights_list = rights.tolist()
+            for row, width in enumerate(counts.tolist()):
+                if width == 0:
+                    continue
+                group = by_width.get(width)
+                if group is None:
+                    group = by_width[width] = []
+                group.append(len(jobs))
+                jobs.append((lefts_list[row], rights_list[row], width, values[row]))
+        if not jobs:
+            return
+        s1_of = [0.0] * len(jobs)
+        s2_of = [0.0] * len(jobs)
+        for width, members in by_width.items():
+            block = np.stack([jobs[pos][3][:width] for pos in members])
+            s1 = np.sum(block, axis=1)
+            s2 = np.sum(np.square(block), axis=1)
+            for pos, s1_val, s2_val in zip(members, s1.tolist(), s2.tolist()):
+                s1_of[pos] = s1_val
+                s2_of[pos] = s2_val
+
+        bags = self._bags
+        total = 0
+        for pos, (i, j, width, row) in enumerate(jobs):
+            if i == j:
+                raise ValueError(f"cannot compare item {i} with itself")
+            if i < j:
+                key = (i, j)
+                flip = False
+            else:
+                key = (j, i)
+                flip = True
+            bag = bags[key] if key in bags else None
+            if bag is None:
+                bag = _Bag.empty(32 if width < 32 else width)
+                bags[key] = bag
+            chunk = row[:width]
+            size = bag.size
+            needed = size + width
+            buffer = bag.buffer
+            if needed > buffer.shape[0]:
+                doubled = 2 * buffer.shape[0]
+                grown = np.empty(
+                    needed if needed > doubled else doubled, dtype=np.float64
+                )
+                grown[:size] = buffer[:size]
+                bag.buffer = buffer = grown
+            if flip:
+                # Negation is exact, and a -= x is a += (-x) bit for bit.
+                buffer[size:needed] = -chunk
+                bag.s1 -= s1_of[pos]
+            else:
+                buffer[size:needed] = chunk
+                bag.s1 += s1_of[pos]
+            bag.s2 += s2_of[pos]
+            bag.size = needed
+            total += width
+        self._total += total
+
     def moments(self, i: int, j: int) -> tuple[int, float, float]:
         """``(n, mean, variance)`` of the stored bag for ``(i, j)``.
 
@@ -105,6 +351,8 @@ class JudgmentCache:
         the bag's running moments, so the call is O(1) regardless of bag
         size; the sign of the mean follows the requested orientation.
         """
+        if self._pending:
+            self._drain()
         key, sign = self._key(i, j)
         bag = self._bags.get(key)
         if bag is None or bag.size == 0:
@@ -117,20 +365,28 @@ class JudgmentCache:
         return n, sign * float(mean), float(var)
 
     def clear(self) -> None:
-        """Drop every bag."""
+        """Drop every bag (deferred batches included — they would have
+        been stored and then dropped, so cancelling them is equivalent)."""
+        self._pending.clear()
         self._bags.clear()
         self._total = 0
 
     @property
     def total_samples(self) -> int:
         """Total judgments stored across all pairs."""
+        if self._pending:
+            self._drain()
         return self._total
 
     @property
     def pair_count(self) -> int:
         """Number of pairs with at least one stored judgment."""
+        if self._pending:
+            self._drain()
         return len(self._bags)
 
     def pairs(self) -> list[tuple[int, int]]:
         """All canonical pairs with stored judgments."""
+        if self._pending:
+            self._drain()
         return list(self._bags)

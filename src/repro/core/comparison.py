@@ -119,6 +119,56 @@ class ComparisonRecord:
             std=std,
         )
 
+    @classmethod
+    def from_arrays(
+        cls,
+        lefts: np.ndarray,
+        rights: np.ndarray,
+        codes: np.ndarray,
+        *,
+        workloads: np.ndarray,
+        costs: np.ndarray,
+        rounds: np.ndarray,
+        means: np.ndarray,
+        stds: np.ndarray,
+    ) -> "list[ComparisonRecord]":
+        """Build a whole round's records in one pass over parallel arrays.
+
+        Element ``r`` of every input describes one record; the result is
+        field-for-field identical (order included) to calling
+        :meth:`from_race` per element — the per-record arithmetic
+        (orientation flips, moment math, NaN substitution for empty
+        workloads) is expected to have happened in array form already,
+        which is the point: the only remaining per-record work is
+        constructing the frozen dataclass itself.
+        """
+        nan = math.nan
+        left_outcome, right_outcome, tie = Outcome.LEFT, Outcome.RIGHT, Outcome.TIE
+        return [
+            cls(
+                left=left,
+                right=right,
+                outcome=(
+                    tie if code == 0 else left_outcome if code > 0 else right_outcome
+                ),
+                workload=workload,
+                cost=cost,
+                rounds=spent_rounds,
+                mean=mean if workload else nan,
+                std=std,
+            )
+            for left, right, code, workload, cost, spent_rounds, mean, std in zip(
+                lefts.tolist(),
+                rights.tolist(),
+                codes.tolist(),
+                workloads.tolist(),
+                costs.tolist(),
+                rounds.tolist(),
+                means.tolist(),
+                stds.tolist(),
+            )
+        ]
+
 
 class Comparator:
     """Runs comparison processes against an oracle with a shared cache."""

@@ -30,8 +30,9 @@ pins both the invariants and the statistical parity).
 
 from __future__ import annotations
 
-import math
 from typing import TYPE_CHECKING
+
+import numpy as np
 
 from ..core.comparison import ComparisonRecord
 from .pool import RacingPool
@@ -53,9 +54,13 @@ def race_group(
     Charges the session for consumed microtasks only; latency is *not*
     charged here — the caller bills the group max of the records' rounds.
     """
+    left_list: list[int] = []
+    right_list: list[int] = []
+    slot_list: list[int] = []
+    fresh_list: list[bool] = []
+    flip_list: list[bool] = []
     first_of: dict[tuple[int, int], int] = {}
     unique: list[tuple[int, int]] = []
-    slot_of: list[int] = []
     for left, right in pairs:
         left, right = int(left), int(right)
         if left == right:
@@ -66,12 +71,21 @@ def race_group(
             slot = len(unique)
             first_of[key] = slot
             unique.append((left, right))
-        slot_of.append(slot)
+            fresh_list.append(True)
+        else:
+            fresh_list.append(False)
+        left_list.append(left)
+        right_list.append(right)
+        slot_list.append(slot)
+        flip_list.append(left != unique[slot][0])
+    lefts = np.asarray(left_list, dtype=np.int64)
+    rights = np.asarray(right_list, dtype=np.int64)
+    slots = np.asarray(slot_list, dtype=np.intp)
 
     pool = RacingPool(session, unique, charge_latency=False)
     replayed = pool.n.copy()  # workload already paid for by the cache
     code_of = dict(pool.initial_decisions)
-    rounds_of = [0] * len(unique)
+    rounds_of = np.zeros(len(unique), dtype=np.int64)
     round_no = 0
     while not pool.is_done:
         round_no += 1
@@ -79,30 +93,46 @@ def race_group(
             code_of[idx] = code
             rounds_of[idx] = round_no
 
-    records: list[tuple[ComparisonRecord, bool]] = []
-    seen: set[int] = set()
-    for (left, right), slot in zip(pairs, slot_of):
-        left, right = int(left), int(right)
-        fresh = slot not in seen
-        seen.add(slot)
-        workload, mean, var = pool.moments(slot)
-        code = code_of.get(slot, 0)
-        if (left, right) != unique[slot]:  # opposite orientation of the race
-            code = -code
-            mean = -mean
-        records.append(
-            (
-                ComparisonRecord.from_race(
-                    left,
-                    right,
-                    code,
-                    workload=workload,
-                    cost=int(pool.n[slot] - replayed[slot]) if fresh else 0,
-                    rounds=rounds_of[slot] if fresh else 0,
-                    mean=mean,
-                    std=math.sqrt(var) if not math.isnan(var) else math.nan,
-                ),
-                fresh,
-            )
+    # Record synthesis is array-native end to end: per-slot moments, the
+    # per-occurrence orientation flips and fresh/replay masks are all
+    # computed in whole-group passes, and one
+    # :meth:`ComparisonRecord.from_arrays` call builds the records — the
+    # per-pair math is bit-identical to the historical per-row
+    # ``pool.moments``/``from_race`` loop (pinned by
+    # tests/test_record_synthesis.py and the apply-parity golden).
+    codes_u = np.zeros(len(unique), dtype=np.int64)
+    if code_of:
+        codes_u[np.fromiter(code_of.keys(), np.intp, len(code_of))] = np.fromiter(
+            code_of.values(), np.int64, len(code_of)
         )
-    return records
+    # No errstate guard needed: denominators are clamped >= 1 and every
+    # NaN below is propagation of an existing NaN, which never warns.
+    n_u = pool.n
+    mean_u = np.where(n_u > 0, pool.s1 / np.where(n_u > 0, n_u, 1), np.nan)
+    var_u = np.where(
+        n_u >= 2,
+        np.maximum(
+            (pool.s2 - n_u * mean_u * mean_u) / np.maximum(n_u - 1, 1), 0.0
+        ),
+        np.nan,
+    )
+    std_u = np.sqrt(var_u)  # NaN (workload < 2) passes through
+
+    # ``fresh`` (first occurrence of each slot) and ``flip`` (opposite
+    # orientation of the raced key) were tallied in the dedupe pass.
+    fresh = np.asarray(fresh_list, dtype=bool)
+    flip = np.asarray(flip_list, dtype=bool)
+    slot_codes = codes_u[slots]
+    slot_n = n_u[slots]
+    slot_mean = mean_u[slots]
+    records = ComparisonRecord.from_arrays(
+        lefts,
+        rights,
+        np.where(flip, -slot_codes, slot_codes),
+        workloads=slot_n,
+        costs=np.where(fresh, slot_n - replayed[slots], 0),
+        rounds=np.where(fresh, rounds_of[slots], 0),
+        means=np.where(flip, -slot_mean, slot_mean),
+        stds=std_u[slots],
+    )
+    return list(zip(records, fresh_list))

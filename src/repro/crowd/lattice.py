@@ -71,7 +71,7 @@ class _Lane:
 
     __slots__ = (
         "index", "name", "fn", "registry", "result", "error",
-        "session", "plan", "eval", "event", "registered",
+        "session", "plan", "eval", "registered", "gate",
     )
 
     def __init__(self, index: int, name: str, fn: Callable[[], Any]) -> None:
@@ -84,8 +84,14 @@ class _Lane:
         self.session = None
         self.plan = None
         self.eval = None
-        self.event = threading.Event()
         self.registered = False
+        # Binary-semaphore park: held whenever the lane runs, released
+        # exactly once per round by whoever evaluates the batch.  A raw
+        # lock parks/wakes at C level — no waiter-lock allocation, no
+        # notify fan-out — which is what makes the per-round rendezvous
+        # cheap enough to win on a small host.
+        self.gate = threading.Lock()
+        self.gate.acquire()
 
 
 class RacingLattice:
@@ -117,10 +123,20 @@ class RacingLattice:
         self._lanes = [
             _Lane(i, f"{name}/lane{i}", fn) for i, fn in enumerate(tasks)
         ]
-        self._cond = threading.Condition()
+        # One mutex guards the rendezvous state; the condition on top of
+        # it is the coordinator's only — it is notified solely on lane
+        # death (rare), so steady-state batches never wake the
+        # coordinator thread at all.
+        self._mutex = threading.Lock()
+        self._coord = threading.Condition(self._mutex)
         self._alive = 0
         self._pending: list[_Lane] = []
         self._batches = 0
+        # The ambient registry captured by run(); the fused-rounds counter
+        # must land there no matter which lane thread (running under its
+        # own thread-local registry) ends up evaluating a batch.
+        self._ambient = None
+        self._rounds_counter = None
 
     # ------------------------------------------------------------------
     # lane side (called from lane threads via RacingPool.round)
@@ -131,9 +147,11 @@ class RacingLattice:
         """One pool round from a lane: plan locally, evaluate fused.
 
         The lane draws its own samples (its RNG, its round counters) and
-        parks; the thread that releases the barrier evaluates every parked
-        lane's round in one pass.  The lane then applies the verdicts
-        itself, under its own registry.
+        joins the barrier.  The *last* lane to arrive evaluates every
+        pending round inline in its own thread — no hand-off to the
+        coordinator, no extra context switches on a small host — and one
+        ``notify_all`` releases the parked peers.  Each lane then applies
+        its own verdicts under its own registry.
         """
         lane: _Lane | None = getattr(_tls, "lane", None)
         if lane is None:  # not a lane thread: fall back to the local path
@@ -148,18 +166,55 @@ class RacingLattice:
             lane.session = pool.session
             lane.registered = True
             get_query_board().register(lane.name, pool.session)
-        lane.event.clear()
         lane.plan = plan
-        with self._cond:
+        lane.eval = None
+        batch: list[_Lane] | None = None
+        with self._mutex:
             self._pending.append(lane)
-            self._cond.notify_all()
-        lane.event.wait()
+            if len(self._pending) >= self._alive:
+                batch = self._pending
+                self._pending = []
+        if batch is not None:
+            self._evaluate_batch(batch, skip=lane)
+        else:
+            # Park until an evaluator (the last arriver, or the
+            # coordinator after a lane died) delivers the verdict and
+            # releases the gate; the acquire leaves it held again.
+            lane.gate.acquire()
         ev = lane.eval
         lane.plan = None
         lane.eval = None
-        if isinstance(ev, BaseException):  # kernel-side evaluation failure
+        if isinstance(ev, BaseException):  # fused evaluation failure
             raise ev
         return pool._apply_round(plan, ev)
+
+    def _evaluate_batch(
+        self, batch: "list[_Lane]", skip: "_Lane | None" = None
+    ) -> None:
+        """Fuse-evaluate a popped batch and release its lanes.
+
+        Runs outside the mutex (every batch member is parked or is the
+        calling thread, so no racing state mutates concurrently); an
+        evaluation failure is delivered to every member rather than
+        stranding the parked ones.  ``skip`` is the calling lane, whose
+        gate is held by itself and must not be released.
+        """
+        try:
+            evals = _evaluate_plans([member.plan for member in batch])
+        except BaseException as exc:  # deliver, never strand a lane
+            evals = [exc] * len(batch)
+        else:
+            self._batches += 1
+            counter = self._rounds_counter
+            if counter is None:
+                counter = self._rounds_counter = self._ambient.counter(
+                    "crowd_lattice_rounds_total"
+                )
+            counter.inc()
+        for member, ev in zip(batch, evals):
+            member.eval = ev
+            if member is not skip:
+                member.gate.release()
 
     def _lane_main(self, lane: _Lane) -> None:
         _tls.lattice = self
@@ -172,9 +227,9 @@ class RacingLattice:
         finally:
             _tls.lattice = None
             _tls.lane = None
-            with self._cond:
+            with self._coord:
                 self._alive -= 1
-                self._cond.notify_all()
+                self._coord.notify_all()
 
     # ------------------------------------------------------------------
     # kernel side
@@ -182,16 +237,16 @@ class RacingLattice:
     def run(self) -> list[Any]:
         """Race all lanes to completion; returns results in task order.
 
-        The calling thread acts as the kernel: it parks until every live
-        lane has a round pending, evaluates the batch in one fused numpy
-        pass, and releases the lanes.  Lane registries (all per-lane
-        telemetry) are merged into the ambient registry in lane order
-        before returning, and lane sessions leave the query board.
+        Steady-state batches are evaluated by the last-arriving lane in
+        its own thread; the calling thread only arbitrates rendezvous
+        that a lane death would otherwise strand.  Lane registries (all
+        per-lane telemetry) are merged into the ambient registry in lane
+        order before returning, and lane sessions leave the query board.
         """
         lanes = self._lanes
         if not lanes:
             return []
-        ambient = get_registry()
+        ambient = self._ambient = get_registry()
         self._alive = len(lanes)
         threads = [
             threading.Thread(
@@ -206,9 +261,15 @@ class RacingLattice:
         try:
             for thread in threads:
                 thread.start()
+            # Steady-state batches are evaluated inline by the last lane
+            # to arrive; this thread is only the fallback arbiter for the
+            # rendezvous shrinking underneath parked lanes — when a lane
+            # *finishes* while peers are parked, the barrier condition
+            # (pending >= alive) can become true with nobody submitting.
+            # Lane deaths are the only notifications it receives.
             while True:
-                with self._cond:
-                    self._cond.wait_for(
+                with self._coord:
+                    self._coord.wait_for(
                         lambda: self._alive == 0
                         or (self._alive > 0 and len(self._pending) >= self._alive)
                     )
@@ -216,18 +277,7 @@ class RacingLattice:
                         break
                     batch = self._pending
                     self._pending = []
-                # Evaluate outside the lock: lanes are all parked on their
-                # events, nothing mutates racing state concurrently.
-                try:
-                    evals = _evaluate_plans([lane.plan for lane in batch])
-                except BaseException as exc:  # deliver, never strand a lane
-                    evals = [exc] * len(batch)
-                else:
-                    self._batches += 1
-                    ambient.counter("crowd_lattice_rounds_total").inc()
-                for lane, ev in zip(batch, evals):
-                    lane.eval = ev
-                    lane.event.set()
+                self._evaluate_batch(batch)
         finally:
             for thread in threads:
                 thread.join()

@@ -49,6 +49,17 @@ class CostLedger:
         """Record that one comparison process started."""
         self.comparisons += 1
 
+    def begin_comparisons(self, n: int) -> None:
+        """Record that ``n`` comparison processes started at once.
+
+        The batched twin of :meth:`begin_comparison` — group engines open
+        a whole parallel comparison group with one ledger update instead
+        of one call per pair.
+        """
+        if n < 0:
+            raise ValueError(f"cannot begin {n} comparisons")
+        self.comparisons += n
+
     @property
     def remaining(self) -> int | None:
         """Microtasks left under the ceiling (None when uncapped)."""

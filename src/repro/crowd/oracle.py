@@ -274,6 +274,17 @@ class UserTableOracle(JudgmentOracle):
         if len(item_ids) != ratings.shape[1]:
             raise OracleError("item_ids must align with the rating columns")
         self._col_of = {int(i): c for c, i in enumerate(item_ids)}
+        # Dense item -> column map for bulk draws, built only when the ids
+        # are a permutation of 0..n-1 (every real dataset).  Lookups go
+        # through an unsigned cast, so unknown ids — negative or too
+        # large — fault the gather instead of silently wrapping.
+        self._col_arr: np.ndarray | None = None
+        if item_ids.size and int(item_ids.min()) >= 0 and int(
+            item_ids.max()
+        ) == item_ids.size - 1:
+            col_arr = np.empty(item_ids.size, dtype=np.intp)
+            col_arr[item_ids] = np.arange(item_ids.size, dtype=np.intp)
+            self._col_arr = col_arr
         lo, hi = float(ratings.min()), float(ratings.max())
         self.bounds = (lo - hi, hi - lo)
 
@@ -304,6 +315,21 @@ class UserTableOracle(JudgmentOracle):
         size: int,
         rng: np.random.Generator,
     ) -> np.ndarray:
+        col_arr = self._col_arr
+        if col_arr is not None:
+            try:
+                cols_left = col_arr[np.asarray(left).astype(np.uintp)]
+                cols_right = col_arr[np.asarray(right).astype(np.uintp)]
+            except IndexError:
+                # Unknown id: the checked per-item path below raises the
+                # proper OracleError (no RNG was consumed yet).
+                pass
+            else:
+                users = rng.integers(0, self.n_users, size=(len(left), size))
+                return (
+                    self._ratings[users, cols_left[:, None]]
+                    - self._ratings[users, cols_right[:, None]]
+                )
         cols_left = np.asarray([self._col(int(i)) for i in left])
         cols_right = np.asarray([self._col(int(j)) for j in right])
         users = rng.integers(0, self.n_users, size=(len(cols_left), size))

@@ -192,6 +192,10 @@ DECIDED_RIGHT = -1
 TIE = 2
 DEACTIVATED = 3
 
+#: ``repro.crowd.lattice.current_lattice``, bound on the first round (the
+#: lattice module imports this one, so a top-level import would cycle).
+_current_lattice = None
+
 
 class RacingPool:
     """Races a fixed set of pairs in batched rounds until each resolves.
@@ -248,8 +252,9 @@ class RacingPool:
             self._eval_sig = ("codes", type(tester), tester.alpha)
 
         count = len(pairs)
-        self.left = np.asarray([p[0] for p in pairs], dtype=np.int64)
-        self.right = np.asarray([p[1] for p in pairs], dtype=np.int64)
+        lefts, rights = zip(*pairs) if pairs else ((), ())
+        self.left = np.asarray(lefts, dtype=np.int64)
+        self.right = np.asarray(rights, dtype=np.int64)
         self.n = np.zeros(count, dtype=np.int64)
         self.s1 = np.zeros(count, dtype=np.float64)
         self.s2 = np.zeros(count, dtype=np.float64)
@@ -274,11 +279,26 @@ class RacingPool:
         self._failures = np.zeros(count, dtype=np.int64)
         self._eligible_round = np.zeros(count, dtype=np.int64)
         self._rounds_done = 0
+        # Lazily created counter handles: creation stays on first
+        # increment (an untouched family must not appear in snapshots),
+        # but repeat rounds skip the registry's name/label lookup.
+        self._counter_cache: dict[object, object] = {}
+        self._round_counters: tuple | None = None
 
         if resume_state is not None:
             self._load_state(resume_state)
         elif use_cache and count:
             self._replay_cache()
+
+    def _counter(self, name: str, **labels: object):
+        """A cached counter handle (still created on first use only)."""
+        key = (name, tuple(sorted(labels.items()))) if labels else name
+        found = self._counter_cache.get(key)
+        if found is None:
+            found = self._counter_cache[key] = self._telemetry.counter(
+                name, **labels
+            )
+        return found
 
     def _replay_cache(self) -> None:
         """Seed pair states from previously stored judgments.
@@ -292,10 +312,10 @@ class RacingPool:
         cache-heavy re-partitions from going quadratic in Python.
         """
         cache = self.session.cache
-        bags = [
-            cache.bag(int(i), int(j))[: self._budget]
-            for i, j in zip(self.left, self.right)
-        ]
+        if cache.total_samples == 0:  # cold cache: nothing to scan
+            return
+        budget = self._budget
+        bags = [bag[:budget] for bag in cache.bags_for(self.left, self.right)]
         lengths = np.asarray([bag.size for bag in bags], dtype=np.int64)
         rows = np.flatnonzero(lengths > 0)
         if rows.size == 0:
@@ -337,25 +357,29 @@ class RacingPool:
         codes = np.where(counts[None, :] <= row_len[:, None], codes, 0)
 
         has_decision = codes != 0
-        first = np.where(
-            has_decision.any(axis=1), has_decision.argmax(axis=1), row_len - 1
-        )
+        decided = has_decision.any(axis=1)
+        first = np.where(decided, has_decision.argmax(axis=1), row_len - 1)
         slots = np.arange(rows.size)
         self.n[rows] = n_mat[slots, first]
         self.s1[rows] = s1_mat[slots, first]
         self.s2[rows] = s2_mat[slots, first]
-        decided = has_decision.any(axis=1)
-        for slot in range(rows.size):  # pair order, as a per-pair replay would
-            idx = int(rows[slot])
-            if decided[slot]:
-                code = int(codes[slot, first[slot]])
-                self.status[idx] = DECIDED_LEFT if code > 0 else DECIDED_RIGHT
-                self.initial_decisions.append((idx, code))
-            elif row_len[slot] >= self._budget:
-                self.status[idx] = TIE
-                self.initial_decisions.append((idx, 0))
+        # Resolve in pair order, as a per-pair replay would: decided bags
+        # carry their crossing code, undecided-but-exhausted bags tie.
+        # Undecided rows hold all-zero code rows, so one gather serves both.
+        resolve = np.flatnonzero(decided | (row_len >= self._budget))
+        if resolve.size:
+            out_codes = codes[resolve, first[resolve]]
+            out_rows = rows[resolve]
+            self.status[out_rows] = np.where(
+                out_codes > 0,
+                DECIDED_LEFT,
+                np.where(out_codes < 0, DECIDED_RIGHT, TIE),
+            )
+            self.initial_decisions.extend(
+                zip(out_rows.tolist(), out_codes.tolist())
+            )
         if self.initial_decisions:
-            self._telemetry.counter("crowd_cache_hits_total").inc(
+            self._counter("crowd_cache_hits_total").inc(
                 len(self.initial_decisions)
             )
 
@@ -412,12 +436,12 @@ class RacingPool:
     @property
     def active_indices(self) -> np.ndarray:
         """Indices of pairs still racing."""
-        return np.flatnonzero(self.status == ACTIVE)
+        return (self.status == ACTIVE).nonzero()[0]
 
     @property
     def is_done(self) -> bool:
         """Whether no pair is racing any more."""
-        return not np.any(self.status == ACTIVE)
+        return not (self.status == ACTIVE).any()
 
     def deactivate(self, idx: int) -> None:
         """Stop racing pair ``idx`` without a verdict (it stopped mattering)."""
@@ -451,15 +475,23 @@ class RacingPool:
         outcome is a one-round-stale number.
         """
         step = self.config.batch_size if step is None else int(step)
-        status = self.status
-        active = int(np.count_nonzero(status == ACTIVE))
-        decided = int(
-            np.count_nonzero(status == DECIDED_LEFT)
-            + np.count_nonzero(status == DECIDED_RIGHT)
+        # One tally pass over the SoA status array (codes are -1..3, so a
+        # shifted bincount covers the whole byte range) instead of one
+        # boolean scan per status — a scrape costs O(pairs) once, with no
+        # per-pair Python objects.
+        tally = np.bincount(
+            self.status.astype(np.intp) + 1, minlength=DEACTIVATED + 2
         )
-        ties = int(np.count_nonzero(status == TIE))
+        active = int(tally[ACTIVE + 1])
+        decided = int(tally[DECIDED_LEFT + 1] + tally[DECIDED_RIGHT + 1])
+        ties = int(tally[TIE + 1])
         if active:
-            widest = int(self._budget - self.n[status == ACTIVE].min())
+            widest = int(
+                self._budget
+                - np.min(
+                    self.n, initial=self._budget, where=self.status == ACTIVE
+                )
+            )
             est_remaining = max(-(-widest // max(step, 1)), 1)
         else:
             est_remaining = 0
@@ -485,9 +517,10 @@ class RacingPool:
         """
         if self._injector is not None:
             return self._faulty_round(step)
-        from .lattice import current_lattice  # deferred: lattice imports pool
-
-        lattice = current_lattice()
+        global _current_lattice
+        if _current_lattice is None:  # deferred: lattice imports pool
+            from .lattice import current_lattice as _current_lattice
+        lattice = _current_lattice()
         if lattice is not None:
             return lattice.submit_round(self, step)
         resolved, plan = self._plan_round(step)
@@ -526,48 +559,108 @@ class RacingPool:
         self, plan: _RoundPlan, ev: _RoundEval
     ) -> list[tuple[int, int]]:
         """Commit an evaluated round: state, statuses, cache, charges."""
-        active = plan.active
-        step = plan.step
-        first = ev.first
-        consumed = ev.consumed
-        self.n[active] = ev.new_n
-        self.s1[active] = ev.new_s1
-        self.s2[active] = ev.new_s2
-
-        cache = self.session.cache if self.use_cache else None
         resolved: list[tuple[int, int]] = []
-        decided_rows = np.flatnonzero(first < step)
-        exhausted_rows = np.flatnonzero(
-            (first >= step) & (self.n[active] >= self._budget)
+        budget_ties = self._commit_round(
+            plan.active,
+            plan.draw,
+            plan.step,
+            ev.first,
+            ev.consumed,
+            ev.codes_at_first,
+            ev.new_n,
+            ev.new_s1,
+            ev.new_s2,
+            resolved,
         )
-        for row in decided_rows:
-            idx = int(active[row])
-            code = int(ev.codes_at_first[row])
-            self.status[idx] = DECIDED_LEFT if code > 0 else DECIDED_RIGHT
-            resolved.append((idx, code))
-        for row in exhausted_rows:
-            idx = int(active[row])
-            self.status[idx] = TIE
-            resolved.append((idx, 0))
-        if cache is not None:
-            for row in range(active.size):
-                idx = int(active[row])
-                cache.append(
-                    int(self.left[idx]),
-                    int(self.right[idx]),
-                    plan.draw[row, : consumed[row]],
-                )
-
-        self.session.charge_cost(int(consumed.sum()))
-        if self.charge_latency:
-            self.session.charge_rounds(1)
-        self._telemetry.counter("crowd_pool_rounds_total").inc()
-        self._telemetry.counter("oracle_judgments_total").inc(int(plan.draw.size))
-        if exhausted_rows.size:
-            self._telemetry.counter("crowd_budget_ties_total").inc(
-                int(exhausted_rows.size)
+        consumed_total = int(ev.consumed.sum())
+        self.session.charge_many(
+            consumed_total, rounds=1 if self.charge_latency else 0
+        )
+        handles = self._round_counters
+        if handles is None:
+            handles = self._round_counters = (
+                self._counter("crowd_pool_rounds_total"),
+                self._counter("oracle_judgments_total"),
             )
+        handles[0].inc()
+        handles[1].add(int(plan.draw.size))
+        if budget_ties:
+            self._counter("crowd_budget_ties_total").add(budget_ties)
+        self._emit_round(plan.active.size, consumed_total, resolved, budget_ties)
         return resolved
+
+    def _commit_round(
+        self,
+        sub: np.ndarray,
+        values: np.ndarray,
+        width: int,
+        first: np.ndarray,
+        consumed: np.ndarray,
+        codes_at_first: np.ndarray,
+        new_n: np.ndarray,
+        new_s1: np.ndarray,
+        new_s2: np.ndarray,
+        resolved: list[tuple[int, int]],
+    ) -> int:
+        """The shared array-native commit: moments, statuses, cache.
+
+        One code path serves both the fault-free and the faulty round
+        (the fault path compacts its delivered answers into the same
+        ``(rows × width)`` shape first), so the two can never drift
+        again.  ``resolved`` is extended in place — decided rows first,
+        budget-exhausted ties after, both in row order, exactly the
+        historical per-row emission order.  Returns the number of
+        budget-exhausted ties for the caller's counter.
+        """
+        self.n[sub] = new_n
+        self.s1[sub] = new_s1
+        self.s2[sub] = new_s2
+
+        decided = first < width
+        decided_idx = sub[decided]
+        if decided_idx.size:
+            codes = codes_at_first[decided]
+            self.status[decided_idx] = np.where(
+                codes > 0, DECIDED_LEFT, DECIDED_RIGHT
+            )
+            resolved.extend(zip(decided_idx.tolist(), codes.tolist()))
+        exhausted_idx = sub[~decided & (new_n >= self._budget)]
+        if exhausted_idx.size:
+            self.status[exhausted_idx] = TIE
+            resolved.extend((idx, 0) for idx in exhausted_idx.tolist())
+        if self.use_cache:
+            # The round's only cache cost is queueing the batch; the bags
+            # absorb all queued rounds in one width-grouped pass the next
+            # time anything reads the cache (JudgmentCache.defer_rows).
+            self.session.cache.defer_rows(
+                self.left[sub], self.right[sub], values, consumed
+            )
+        return int(exhausted_idx.size)
+
+    def _emit_round(
+        self,
+        pairs: int,
+        consumed_total: int,
+        resolved: list[tuple[int, int]],
+        budget_ties: int,
+    ) -> None:
+        """One coalesced ``pool_round`` event per round (when anyone listens).
+
+        Replaces any per-record emission granularity: a flight recorder
+        or JSONL sink sees a single aggregate event per lockstep round.
+        Gated on ``has_listeners`` so the payload dict is never built for
+        nobody.
+        """
+        telemetry = self._telemetry
+        if telemetry.has_listeners:
+            telemetry.emit(
+                "pool_round",
+                pairs=int(pairs),
+                consumed=consumed_total,
+                resolved=len(resolved),
+                budget_ties=budget_ties,
+                round=int(self._rounds_done),
+            )
 
     def _stein_codes(
         self,
@@ -610,19 +703,20 @@ class RacingPool:
     # ------------------------------------------------------------------
     def _expire_deadline(self, active: np.ndarray) -> list[tuple[int, int]]:
         """Degrade every still-active pair to a tie: the deadline passed."""
-        resolved: list[tuple[int, int]] = []
-        for idx in active:
-            self.status[int(idx)] = TIE
-            resolved.append((int(idx), 0))
-        self._telemetry.counter(
-            "crowd_degraded_ties_total", reason="deadline"
-        ).inc(int(active.size))
-        self._telemetry.emit(
-            "degraded_tie",
-            reason="deadline",
-            pairs=[[int(self.left[i]), int(self.right[i])] for i, _ in resolved],
-            round=int(self._rounds_done),
+        self.status[active] = TIE
+        resolved = [(idx, 0) for idx in active.tolist()]
+        self._counter("crowd_degraded_ties_total", reason="deadline").add(
+            int(active.size)
         )
+        if self._telemetry.has_listeners:  # the pair list is listener-only
+            self._telemetry.emit(
+                "degraded_tie",
+                reason="deadline",
+                pairs=[
+                    [int(self.left[i]), int(self.right[i])] for i, _ in resolved
+                ],
+                round=int(self._rounds_done),
+            )
         return resolved
 
     def _register_failures(
@@ -638,22 +732,22 @@ class RacingPool:
         exhausted = failed[self._failures[failed] >= self._retry.max_attempts]
         retrying = failed[self._failures[failed] < self._retry.max_attempts]
         resolved: list[tuple[int, int]] = []
-        for idx in exhausted:
-            self.status[int(idx)] = TIE
-            resolved.append((int(idx), 0))
         if exhausted.size:
-            self._telemetry.counter(
-                "crowd_degraded_ties_total", reason="retries"
-            ).inc(int(exhausted.size))
-            self._telemetry.emit(
-                "degraded_tie",
-                reason="retries",
-                pairs=[
-                    [int(self.left[int(i)]), int(self.right[int(i)])]
-                    for i in exhausted
-                ],
-                round=int(round_no),
+            self.status[exhausted] = TIE
+            resolved.extend((idx, 0) for idx in exhausted.tolist())
+            self._counter("crowd_degraded_ties_total", reason="retries").add(
+                int(exhausted.size)
             )
+            if self._telemetry.has_listeners:
+                self._telemetry.emit(
+                    "degraded_tie",
+                    reason="retries",
+                    pairs=[
+                        [int(self.left[int(i)]), int(self.right[int(i)])]
+                        for i in exhausted
+                    ],
+                    round=int(round_no),
+                )
         if retrying.size:
             waits = np.asarray(
                 [
@@ -663,13 +757,14 @@ class RacingPool:
                 dtype=np.int64,
             )
             self._eligible_round[retrying] = round_no + 1 + waits
-            self._telemetry.counter("crowd_retries_total").inc(int(retrying.size))
-            self._telemetry.emit(
-                "retry",
-                pairs=int(retrying.size),
-                round=int(round_no),
-                max_backoff_rounds=int(waits.max()),
-            )
+            self._counter("crowd_retries_total").add(int(retrying.size))
+            if self._telemetry.has_listeners:
+                self._telemetry.emit(
+                    "retry",
+                    pairs=int(retrying.size),
+                    round=int(round_no),
+                    max_backoff_rounds=int(waits.max()),
+                )
         return resolved
 
     def _faulty_round(self, step: int | None = None) -> list[tuple[int, int]]:
@@ -693,7 +788,7 @@ class RacingPool:
         self._rounds_done += 1
         if self.charge_latency:
             self.session.charge_rounds(1)
-        self._telemetry.counter("crowd_pool_rounds_total").inc()
+        self._counter("crowd_pool_rounds_total").inc()
 
         eligible = active[self._eligible_round[active] <= round_no]
         if eligible.size == 0:
@@ -707,7 +802,7 @@ class RacingPool:
         draw = self._injector.draw_pairs(
             self.left[eligible], self.right[eligible], step, self.session.rng
         )
-        self._telemetry.counter("oracle_judgments_total").inc(int(draw.size))
+        self._counter("oracle_judgments_total").add(int(draw.size))
         # delivery_mask consumes no fault randomness at zero drop rate, so
         # skipping it entirely is RNG-neutral and saves the allocation.
         mask = (
@@ -774,37 +869,23 @@ class RacingPool:
 
         rows = np.arange(sub.size)
         last = consumed - 1  # reach >= 1 on every row with arrivals
-        self.n[sub] = n_mat[rows, last]
-        self.s1[sub] = s1_mat[rows, last]
-        self.s2[sub] = s2_mat[rows, last]
-
-        cache = self.session.cache if self.use_cache else None
-        decided_rows = np.flatnonzero(first < width)
-        exhausted_rows = np.flatnonzero(
-            (first >= width) & (self.n[sub] >= self._budget)
+        budget_ties = self._commit_round(
+            sub,
+            values,
+            width,
+            first,
+            consumed,
+            codes[rows, np.minimum(first, width - 1)],
+            n_mat[rows, last],
+            s1_mat[rows, last],
+            s2_mat[rows, last],
+            resolved,
         )
-        for row in decided_rows:
-            idx = int(sub[row])
-            code = int(codes[row, first[row]])
-            self.status[idx] = DECIDED_LEFT if code > 0 else DECIDED_RIGHT
-            resolved.append((idx, code))
-        for row in exhausted_rows:
-            idx = int(sub[row])
-            self.status[idx] = TIE
-            resolved.append((idx, 0))
-        if cache is not None:
-            for row in range(sub.size):
-                idx = int(sub[row])
-                cache.append(
-                    int(self.left[idx]),
-                    int(self.right[idx]),
-                    values[row, : consumed[row]],
-                )
-        self.session.charge_cost(int(consumed.sum()))
-        if exhausted_rows.size:
-            self._telemetry.counter("crowd_budget_ties_total").inc(
-                int(exhausted_rows.size)
-            )
+        consumed_total = int(consumed.sum())
+        self.session.charge_many(consumed_total)
+        if budget_ties:
+            self._counter("crowd_budget_ties_total").add(budget_ties)
+        self._emit_round(sub.size, consumed_total, resolved, budget_ties)
         return resolved
 
     def run_to_completion(self, step: int | None = None) -> list[tuple[int, int]]:

@@ -266,20 +266,28 @@ class CrowdSession:
 
         from .group import race_group  # deferred: group imports the pool
 
-        for _ in pairs:
-            self.cost.begin_comparison()
+        self.cost.begin_comparisons(len(pairs))
         raced = race_group(self, pairs)
         records = [record for record, _ in raced]
+        # One batched update per instrument for the whole group.  The
+        # pool already counted its own cache replays and raced budget
+        # ties; count only what it could not see — repeated pairs inside
+        # the group and ties decided from the cache.
+        workloads = []
+        replay_hits = 0
+        cached_ties = 0
         for record, fresh in raced:
-            comparisons.inc()
-            workload.observe(record.workload)
-            # The pool already counted its own cache replays and raced
-            # budget ties; count only what it could not see — repeated
-            # pairs inside the group and ties decided from the cache.
-            if record.from_cache and not fresh:
-                cache_hits.inc()
+            workloads.append(record.workload)
+            if not fresh and record.cost == 0 and record.workload > 0:
+                replay_hits += 1
             if record.outcome is Outcome.TIE and (not fresh or record.cost == 0):
-                ties.inc()
+                cached_ties += 1
+        comparisons.add(len(raced))
+        workload.observe_many(workloads)
+        if replay_hits:
+            cache_hits.add(replay_hits)
+        if cached_ties:
+            ties.add(cached_ties)
         if charge_latency:
             self.latency.add_parallel([r.rounds for r in records])
         for record in records:
@@ -302,6 +310,21 @@ class CrowdSession:
     def charge_rounds(self, rounds: int) -> None:
         """Charge raw latency rounds."""
         self.latency.add(rounds)
+
+    def charge_many(self, microtasks: int, *, rounds: int = 0) -> None:
+        """Charge a whole round's spending in one call.
+
+        Equivalent to :meth:`charge_cost` followed by
+        :meth:`charge_rounds` — cost first, so a
+        :class:`~repro.errors.BudgetExhaustedError` from the ceiling
+        check leaves the latency ledger untouched exactly as the split
+        calls would — but racing pools make one accounting call per
+        round instead of two.
+        """
+        self._instruments()[2].inc(microtasks)
+        self.cost.charge(microtasks)
+        if rounds:
+            self.latency.add(rounds)
 
     # ------------------------------------------------------------------
     # checkpoint / resume

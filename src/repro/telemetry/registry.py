@@ -118,6 +118,18 @@ class Counter:
             raise ValueError(f"counters only go up; got {amount}")
         self.value += amount
 
+    def add(self, amount: float) -> None:
+        """Batched increment: one call for a whole round's worth of events.
+
+        Identical to :meth:`inc` — integral totals below 2**53 make ``n``
+        single increments and one ``add(n)`` bit-for-bit equal — but the
+        explicit name marks call sites that coalesce per-record counting
+        into per-round counting (see docs/observability.md).
+        """
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        self.value += amount
+
 
 @dataclass
 class Gauge:
@@ -178,6 +190,36 @@ class Histogram:
             slot = self._rng.randrange(self.count)
             if slot < self._cap:
                 self._values[slot] = value
+
+    def observe_many(self, values: "list[float] | tuple[float, ...]") -> None:
+        """Record many observations in order, as :meth:`observe` would.
+
+        ``sum`` accumulates value by value in the given order and the
+        reservoir sees the same admission sequence, so the result is
+        bit-identical to a loop of :meth:`observe` calls — the batching
+        only removes the per-call method dispatch and, while the
+        reservoir still has room, replaces per-value min/max/append
+        bookkeeping with whole-batch operations.
+        """
+        if not values:
+            return
+        values = [float(value) for value in values]
+        if len(self._values) + len(values) <= self._cap:
+            # Reservoir fits: admission is a plain extend, min/max reduce
+            # over the batch, and only the sum keeps its sequential order
+            # (float addition is not associative).
+            for value in values:
+                self.sum += value
+            self.count += len(values)
+            low, high = min(values), max(values)
+            if low < self.min:
+                self.min = low
+            if high > self.max:
+                self.max = high
+            self._values.extend(values)
+        else:
+            for value in values:
+                self.observe(value)
 
     @property
     def mean(self) -> float:
@@ -454,6 +496,18 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # structured events (flight recorder / streaming sinks)
     # ------------------------------------------------------------------
+    @property
+    def has_listeners(self) -> bool:
+        """Whether any event listener is attached.
+
+        Hot paths whose :meth:`emit` *arguments* are themselves expensive
+        to build (per-pair id lists, aggregates) check this first so the
+        payload is never constructed for nobody — ``emit`` alone only
+        protects against the broadcast, not the argument evaluation at
+        the call site.
+        """
+        return bool(self._listeners)
+
     def emit(self, event_type: str, **fields: object) -> None:
         """Broadcast a structured event to every listener.
 

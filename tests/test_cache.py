@@ -94,3 +94,176 @@ class TestMoments:
         n, mean, var = cache.moments(0, 1)
         assert (n, mean) == (1, 1.0)
         assert np.isnan(var)
+
+
+class TestBatchedAppend:
+    """``append_rows`` must equal per-row ``append`` bit for bit — buffers,
+    running moments (Σv, Σv²) and totals, across orientations and growth."""
+
+    def _equivalent(self, lefts, rights, values, counts):
+        batched, sequential = JudgmentCache(), JudgmentCache()
+        batched.append_rows(lefts, rights, values, counts)
+        for row, count in enumerate(counts.tolist()):
+            sequential.append(
+                int(lefts[row]), int(rights[row]), values[row, :count]
+            )
+        assert batched.total_samples == sequential.total_samples
+        assert sorted(batched._bags) == sorted(sequential._bags)
+        for key, bag in batched._bags.items():
+            other = sequential._bags[key]
+            assert bag.view().tobytes() == other.view().tobytes()
+            # Exact float equality: the grouped reductions must reproduce
+            # numpy's per-row pairwise summation bitwise.
+            assert bag.s1 == other.s1
+            assert bag.s2 == other.s2
+
+    def test_mixed_orientations_and_ragged_counts(self, rng):
+        lefts = np.array([0, 5, 2, 9, 4, 7], dtype=np.int64)
+        rights = np.array([1, 3, 8, 2, 0, 6], dtype=np.int64)
+        values = rng.normal(size=(6, 10))
+        counts = np.array([10, 3, 0, 7, 3, 10], dtype=np.int64)
+        self._equivalent(lefts, rights, values, counts)
+
+    def test_repeated_pairs_accumulate_in_row_order(self, rng):
+        # The same canonical pair appears three times, twice flipped.
+        lefts = np.array([2, 6, 6, 2], dtype=np.int64)
+        rights = np.array([6, 2, 2, 6], dtype=np.int64)
+        values = rng.normal(size=(4, 5))
+        counts = np.array([5, 4, 2, 5], dtype=np.int64)
+        self._equivalent(lefts, rights, values, counts)
+
+    def test_growth_beyond_initial_capacity(self, rng):
+        cache = JudgmentCache()
+        reference = JudgmentCache()
+        for _ in range(12):
+            values = rng.normal(size=(2, 40))
+            counts = np.array([40, 37], dtype=np.int64)
+            lefts = np.array([0, 1], dtype=np.int64)
+            rights = np.array([1, 0], dtype=np.int64)
+            cache.append_rows(lefts, rights, values, counts)
+            reference.append(0, 1, values[0])
+            reference.append(1, 0, values[1, :37])
+        assert cache.bag(0, 1).tobytes() == reference.bag(0, 1).tobytes()
+        assert cache.total_samples == reference.total_samples
+
+    def test_all_zero_counts_is_noop(self):
+        cache = JudgmentCache()
+        cache.append_rows(
+            np.array([0, 1], dtype=np.int64),
+            np.array([1, 2], dtype=np.int64),
+            np.zeros((2, 4)),
+            np.zeros(2, dtype=np.int64),
+        )
+        assert cache.total_samples == 0
+        assert cache.pair_count == 0
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ValueError):
+            JudgmentCache().append_rows(
+                np.array([3], dtype=np.int64),
+                np.array([3], dtype=np.int64),
+                np.ones((1, 2)),
+                np.array([2], dtype=np.int64),
+            )
+
+    def test_empty_batch_is_noop(self):
+        cache = JudgmentCache()
+        cache.append_rows(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty((0, 4)),
+            np.empty(0, dtype=np.int64),
+        )
+        assert cache.total_samples == 0
+
+
+class TestDeferredRows:
+    """``defer_rows`` queues; any read drains; the result must equal the
+    same batches applied eagerly, bit for bit."""
+
+    def _batch(self, rng, rows=3, width=6):
+        lefts = rng.integers(0, 5, size=rows).astype(np.int64)
+        rights = (lefts + 1 + rng.integers(0, 4, size=rows)).astype(np.int64)
+        values = rng.normal(size=(rows, width))
+        counts = rng.integers(0, width + 1, size=rows).astype(np.int64)
+        return lefts, rights, values, counts
+
+    def test_matches_eager_append_rows_bitwise(self, rng):
+        deferred, eager = JudgmentCache(), JudgmentCache()
+        for _ in range(7):
+            batch = self._batch(rng)
+            deferred.defer_rows(*batch)
+            eager.append_rows(*batch)
+        deferred.settle()
+        assert deferred.total_samples == eager.total_samples
+        assert sorted(deferred._bags) == sorted(eager._bags)
+        for key, bag in deferred._bags.items():
+            other = eager._bags[key]
+            assert bag.view().tobytes() == other.view().tobytes()
+            assert bag.s1 == other.s1
+            assert bag.s2 == other.s2
+
+    def test_reads_drain_pending(self, rng):
+        for read in (
+            lambda c: c.bag(0, 1),
+            lambda c: c.count(0, 1),
+            lambda c: c.moments(0, 1),
+            lambda c: c.total_samples,
+            lambda c: c.pair_count,
+            lambda c: c.pairs(),
+            lambda c: c.bags_for(
+                np.array([0], dtype=np.int64), np.array([1], dtype=np.int64)
+            ),
+        ):
+            cache = JudgmentCache()
+            cache.defer_rows(
+                np.array([0], dtype=np.int64),
+                np.array([1], dtype=np.int64),
+                np.array([[1.0, 2.0]]),
+                np.array([2], dtype=np.int64),
+            )
+            read(cache)
+            assert not cache._pending
+            assert cache.count(0, 1) == 2
+
+    def test_writes_drain_first_preserving_order(self, rng):
+        deferred, eager = JudgmentCache(), JudgmentCache()
+        deferred.defer_rows(
+            np.array([0], dtype=np.int64),
+            np.array([1], dtype=np.int64),
+            np.array([[1.0, 2.0, 3.0]]),
+            np.array([3], dtype=np.int64),
+        )
+        deferred.append(1, 0, np.array([4.0]))  # drains, then appends
+        eager.append(0, 1, np.array([1.0, 2.0, 3.0]))
+        eager.append(1, 0, np.array([4.0]))
+        assert deferred.bag(0, 1).tobytes() == eager.bag(0, 1).tobytes()
+
+    def test_clear_cancels_pending(self):
+        cache = JudgmentCache()
+        cache.defer_rows(
+            np.array([0], dtype=np.int64),
+            np.array([1], dtype=np.int64),
+            np.array([[1.0]]),
+            np.array([1], dtype=np.int64),
+        )
+        cache.clear()
+        assert cache.total_samples == 0
+        assert cache.bag(0, 1).size == 0
+
+    def test_settle_on_empty_queue_is_noop(self):
+        cache = JudgmentCache()
+        cache.settle()
+        assert cache.total_samples == 0
+
+
+class TestBulkBags:
+    def test_bags_for_matches_bag(self, rng):
+        cache = JudgmentCache()
+        cache.append(0, 1, np.array([1.0, -2.0]))
+        cache.append(2, 3, np.array([0.5]))
+        lefts = np.array([0, 1, 2, 4], dtype=np.int64)
+        rights = np.array([1, 0, 3, 5], dtype=np.int64)
+        bulk = cache.bags_for(lefts, rights)
+        for got, (i, j) in zip(bulk, zip(lefts, rights)):
+            assert got.tolist() == cache.bag(int(i), int(j)).tolist()

@@ -102,9 +102,10 @@ class TestMetricCatalog:
     """docs/observability.md's metric tables must match what the code
     emits — both directions, so neither side can rot."""
 
-    #: Metric name literals the library creates instruments for.
+    #: Metric name literals the library creates instruments for —
+    #: directly or through RacingPool's cached-handle ``_counter`` helper.
     SOURCE_METRIC = re.compile(
-        r'\.(?:counter|gauge|histogram)\(\s*\n?\s*"([a-z0-9_]+)"'
+        r'\.(?:counter|gauge|histogram|_counter)\(\s*\n?\s*"([a-z0-9_]+)"'
     )
     #: First-column `name` / `name{labels}` cells of the docs tables.
     DOC_METRIC = re.compile(r"^\| `([a-z0-9_]+)(?:\{[^}]*\})?` \|", re.M)

@@ -123,3 +123,100 @@ class TestControls:
         pool.round()
         # the far pair decided in round 1; the close pair keeps racing
         assert pool.active_indices.tolist() == [0]
+
+
+class TestProgressSnapshot:
+    """``progress()`` is the observatory's per-scrape view: it must agree
+    with a naive per-pair reference, allocate no per-pair Python objects,
+    and — called mid-round from another thread — never perturb the query."""
+
+    @staticmethod
+    def _reference(pool, step):
+        # The slow, obviously-correct tally progress() must reproduce.
+        statuses = [int(s) for s in pool.status]
+        active = sum(s == ACTIVE for s in statuses)
+        decided = sum(s in (1, -1) for s in statuses)
+        ties = sum(s == TIE for s in statuses)
+        if active:
+            widest = pool.config.effective_budget - min(
+                int(n) for n, s in zip(pool.n, statuses) if s == ACTIVE
+            )
+            est = max(-(-widest // max(step, 1)), 1)
+        else:
+            est = 0
+        return {
+            "pairs": pool.size,
+            "active": active,
+            "decided": decided,
+            "ties": ties,
+            "rounds_done": int(pool._rounds_done),
+            "est_rounds_remaining": est,
+            "consumed_microtasks": int(pool.n.sum()),
+        }
+
+    def test_matches_reference_every_round(self):
+        session = make_latent_session(
+            [0.0, 0.2, 3.0, 3.1, 6.0], sigma=2.0, budget=60
+        )
+        pool = RacingPool(session, [(1, 0), (2, 0), (3, 2), (4, 0), (4, 3)])
+        step = session.config.batch_size
+        assert pool.progress(step) == self._reference(pool, step)
+        while not pool.is_done:
+            pool.round()
+            assert pool.progress(step) == self._reference(pool, step)
+        done = pool.progress(step)
+        assert done["active"] == 0
+        assert done["est_rounds_remaining"] == 0
+        assert done["decided"] + done["ties"] == pool.size
+
+    def test_deactivated_pairs_counted_in_no_bucket(self):
+        session = make_latent_session([0.0, 2.0, 4.0], sigma=0.5)
+        pool = RacingPool(session, [(1, 0), (2, 0)])
+        pool.deactivate(1)
+        doc = pool.progress()
+        assert doc["active"] == 1
+        assert doc["decided"] == doc["ties"] == 0
+        assert pool.status[1] == DEACTIVATED
+
+    def test_mid_round_scrape_is_bit_invisible(self):
+        """Hammering progress() from another thread mid-round leaves the
+        query bit-identical to an unscraped twin (PR contract: scrapes
+        serve from read-only SoA views, never from mutating state)."""
+        import threading
+
+        def run(scrape: bool):
+            session = make_latent_session(
+                [0.0, 0.4, 1.8, 2.2, 4.0, 4.1], sigma=1.5, seed=23, budget=80
+            )
+            pool = RacingPool(
+                session, [(1, 0), (2, 1), (3, 2), (4, 3), (5, 4), (5, 0)]
+            )
+            stop = threading.Event()
+            scrapes = {"n": 0}
+
+            def hammer():
+                while not stop.is_set():
+                    doc = pool.progress()
+                    assert 0 <= doc["active"] <= pool.size
+                    scrapes["n"] += 1
+
+            scraper = threading.Thread(target=hammer) if scrape else None
+            if scraper:
+                scraper.start()
+            try:
+                resolved = pool.run_to_completion()
+            finally:
+                stop.set()
+                if scraper:
+                    scraper.join()
+                    assert scrapes["n"] > 0
+            return (
+                resolved,
+                session.total_cost,
+                session.total_rounds,
+                pool.n.tolist(),
+                pool.status.tolist(),
+                repr(session.rng.bit_generator.state),
+            )
+
+        assert run(scrape=True) == run(scrape=False)

@@ -129,3 +129,39 @@ class TestSession:
         a = make_latent_session([0.0, 1.0, 2.0], seed=42).compare(2, 0)
         b = make_latent_session([0.0, 1.0, 2.0], seed=42).compare(2, 0)
         assert a == b
+
+
+class TestBatchedCharging:
+    """The batched accounting twins equal their per-event counterparts."""
+
+    def test_begin_comparisons_equals_n_begins(self):
+        batched, sequential = CostLedger(), CostLedger()
+        batched.begin_comparisons(7)
+        for _ in range(7):
+            sequential.begin_comparison()
+        assert batched.comparisons == sequential.comparisons == 7
+
+    def test_begin_comparisons_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CostLedger().begin_comparisons(-1)
+
+    def test_charge_many_equals_split_calls(self):
+        batched = make_latent_session([0.0, 5.0], seed=1)
+        split = make_latent_session([0.0, 5.0], seed=1)
+        batched.charge_many(40, rounds=4)
+        batched.charge_many(12)
+        split.charge_cost(40)
+        split.charge_rounds(4)
+        split.charge_cost(12)
+        assert batched.total_cost == split.total_cost == 52
+        assert batched.total_rounds == split.total_rounds == 4
+
+    def test_charge_many_ceiling_leaves_latency_untouched(self):
+        session = make_latent_session([0.0, 5.0], seed=1)
+        session.cost.ceiling = 10
+        with pytest.raises(BudgetExhaustedError):
+            session.charge_many(11, rounds=3)
+        # Cost first: the ceiling fires before latency is billed, exactly
+        # as charge_cost followed by charge_rounds would behave.
+        assert session.total_rounds == 0
+        assert session.total_cost == 11

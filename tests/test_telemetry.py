@@ -480,3 +480,67 @@ class TestRegistryMerge:
             target.gauge("phase").set(index % 2)
         merged = MetricsRegistry().merge(*halves)
         assert merged.snapshot() == serial.snapshot()
+
+
+class TestBatchedInstruments:
+    """The batch twins (``Counter.add``, ``Histogram.observe_many``) must be
+    indistinguishable from N sequential single-event calls."""
+
+    def test_counter_add_equals_n_incs(self):
+        registry = MetricsRegistry()
+        registry.counter("batched_total").add(137)
+        for _ in range(137):
+            registry.counter("sequential_total").inc()
+        assert registry.counter_value("batched_total") == registry.counter_value(
+            "sequential_total"
+        )
+
+    def test_counter_add_zero_and_negative(self):
+        counter = MetricsRegistry().counter("c")
+        counter.add(0)
+        assert counter.value == 0
+        with pytest.raises(ValueError):
+            counter.add(-3)
+
+    def test_observe_many_bit_identical_below_reservoir(self):
+        values = np.random.default_rng(3).normal(10.0, 4.0, 200).tolist()
+        batched, sequential = Histogram("a"), Histogram("b")
+        batched.observe_many(values)
+        for value in values:
+            sequential.observe(value)
+        # sum accumulates in observation order — float addition is not
+        # associative, so these match only if the batch path keeps the
+        # sequential left-to-right reduction.
+        assert batched.sum == sequential.sum
+        assert batched.count == sequential.count
+        assert (batched.min, batched.max) == (sequential.min, sequential.max)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert batched.quantile(q) == sequential.quantile(q)
+
+    def test_observe_many_past_reservoir_matches_sequential(self):
+        values = np.random.default_rng(5).uniform(0, 1, 900).tolist()
+        batched, sequential = Histogram("a", reservoir=256), Histogram(
+            "b", reservoir=256
+        )
+        # Split the stream so the batch call straddles the reservoir cap.
+        batched.observe_many(values[:200])
+        batched.observe_many(values[200:])
+        for value in values:
+            sequential.observe(value)
+        assert batched.count == sequential.count
+        assert batched.sum == sequential.sum
+        assert (batched.min, batched.max) == (sequential.min, sequential.max)
+
+    def test_observe_many_empty_is_noop(self):
+        hist = Histogram("h")
+        hist.observe_many([])
+        assert hist.count == 0
+
+    def test_has_listeners_tracks_subscription(self):
+        registry = MetricsRegistry()
+        assert not registry.has_listeners
+        listener = lambda event: None
+        registry.add_listener(listener)
+        assert registry.has_listeners
+        registry.remove_listener(listener)
+        assert not registry.has_listeners
