@@ -35,6 +35,15 @@ Three suites, all selectable via ``--suite`` (default ``all``):
     deterministic aggregates to serial racing, and writes
     ``BENCH_lattice.json``.
 
+``bdp``
+    Times the BDP ranker's one-step-lookahead pair scorer — the
+    vectorized O(K³) :func:`repro.algorithms.bdp.score_pairs` against
+    the O(K⁴) scalar reference it replaces — verifies the two agree to
+    float64 round-off, runs a small SPR-vs-BDP head-to-head for context,
+    and writes ``BENCH_bdp.json``.  The speedup is load-invariant (both
+    legs run back to back on the same host) so the bench-trend gate can
+    track it.
+
 ``apply``
     Profiles the *apply* side of a racing round.  Runs a serial
     ``--apply-runs``-seed SPR workload (default 8) twice: an unprofiled
@@ -54,6 +63,7 @@ Usage::
     PYTHONPATH=src python scripts/bench_perf.py --suite faults
     PYTHONPATH=src python scripts/bench_perf.py --suite lattice
     PYTHONPATH=src python scripts/bench_perf.py --suite apply --repeat 5
+    PYTHONPATH=src python scripts/bench_perf.py --suite bdp
 
 Runner speedup scales with available cores; group-engine speedup is
 core-independent (it removes Python interpreter overhead, not work).  The
@@ -98,6 +108,7 @@ GROUP_OUTPUT = _ROOT / "BENCH_group_engine.json"
 FAULT_OUTPUT = _ROOT / "BENCH_fault_overhead.json"
 LATTICE_OUTPUT = _ROOT / "BENCH_lattice.json"
 APPLY_OUTPUT = _ROOT / "BENCH_apply.json"
+BDP_OUTPUT = _ROOT / "BENCH_bdp.json"
 HISTORY_OUTPUT = _ROOT / "BENCH_history.jsonl"
 
 
@@ -696,11 +707,104 @@ def bench_apply(args) -> int:
     return 0
 
 
+def bench_bdp(args) -> int:
+    """Time the vectorized BDP pair scorer against its scalar reference.
+
+    Both legs score the same shape vector; the vectorized result must
+    match the reference to float64 round-off or the script exits
+    non-zero.  The speedup is a within-host ratio, so the bench-trend
+    gate can compare it across runs.  A small SPR-vs-BDP head-to-head
+    rides along for cost/quality context.
+    """
+    from repro.algorithms.bdp import score_pairs, score_pairs_reference
+
+    n_shapes = 12 if args.quick else 18
+    repeats = max(args.repeat, 1)
+    shapes = np.random.default_rng(11).uniform(0.2, 8.0, n_shapes)
+    print(
+        f"bdp scorer legs (K={n_shapes}, interleaved best of {repeats}) ...",
+        flush=True,
+    )
+    fast = score_pairs(shapes)  # warm-up both legs, untimed
+    slow = score_pairs_reference(shapes)
+    matches = bool(np.allclose(fast, slow, rtol=1e-9, equal_nan=True))
+    times = {"vectorized": float("inf"), "reference": float("inf")}
+    for _ in range(repeats):
+        started = time.perf_counter()
+        score_pairs(shapes)
+        times["vectorized"] = min(times["vectorized"], time.perf_counter() - started)
+        started = time.perf_counter()
+        score_pairs_reference(shapes)
+        times["reference"] = min(times["reference"], time.perf_counter() - started)
+    speedup = (
+        times["reference"] / times["vectorized"]
+        if times["vectorized"] else float("inf")
+    )
+    print(
+        f"  vectorized {times['vectorized'] * 1e3:.2f}ms, "
+        f"reference {times['reference'] * 1e3:.2f}ms "
+        f"({speedup:.1f}x, matches: {matches})"
+    )
+
+    n_runs = 2 if args.quick else 4
+    params = ExperimentParams(
+        dataset=args.dataset, n_items=15, k=3, n_runs=n_runs, seed=0,
+        budget=300, min_workload=5, batch_size=10,
+    )
+    print(f"head-to-head leg (spr vs bdp, {args.dataset}, N=15, "
+          f"n_runs={n_runs}) ...", flush=True)
+    with use_registry(MetricsRegistry()):
+        started = time.perf_counter()
+        stats = run_methods(["spr", "bdp"], params, n_jobs=1)
+        head_seconds = time.perf_counter() - started
+    head = {
+        method: {
+            "mean_cost": stats[method].mean_cost,
+            "mean_rounds": stats[method].mean_rounds,
+            "mean_ndcg": round(stats[method].mean_ndcg, 4),
+        }
+        for method in ("spr", "bdp")
+    }
+    print(
+        f"  {head_seconds:.2f}s; TMC spr {head['spr']['mean_cost']:,.0f} vs "
+        f"bdp {head['bdp']['mean_cost']:,.0f}"
+    )
+
+    payload = {
+        "benchmark": "bdp",
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "host": _host(),
+        "workload": (
+            f"score_pairs vs score_pairs_reference at K={n_shapes}; "
+            f"spr-vs-bdp on {args.dataset}, N=15, k=3, n_runs={n_runs}"
+        ),
+        "quick": args.quick,
+        "repeat": repeats,
+        "scorer_seconds": {
+            name: round(value, 6) for name, value in times.items()
+        },
+        "scorer_speedup": round(speedup, 3),
+        "scorer_matches_reference": matches,
+        "head_to_head": head,
+    }
+    args.bdp_output.write_text(json.dumps(payload, indent=2) + "\n")
+    _append_history(payload, args.history)
+    print(
+        f"bdp scorer speedup: {speedup:.1f}x at K={n_shapes} "
+        f"(matches reference: {matches}) -> {args.bdp_output}"
+    )
+    if not matches:
+        print("error: vectorized scorer diverges from the scalar reference",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("all", "runner", "group", "faults", "lattice", "apply"),
+        choices=("all", "runner", "group", "faults", "lattice", "apply", "bdp"),
         default="all", help="which benchmark(s) to run")
     parser.add_argument("--jobs", type=int, default=4,
                         help="worker processes for the parallel leg (default 4)")
@@ -728,6 +832,8 @@ def main(argv=None) -> int:
                         "(default 8; --quick halves it)")
     parser.add_argument("--apply-output", type=pathlib.Path,
                         default=APPLY_OUTPUT)
+    parser.add_argument("--bdp-output", type=pathlib.Path,
+                        default=BDP_OUTPUT)
     parser.add_argument("--repeat", type=int, default=3,
                         help="wall-time repetitions per timed leg; the best "
                         "is reported (default 3)")
@@ -759,6 +865,11 @@ def main(argv=None) -> int:
     if args.suite in ("all", "lattice"):
         status = bench_lattice(args)
         if status or args.suite == "lattice":
+            return status
+
+    if args.suite in ("all", "bdp"):
+        status = bench_bdp(args)
+        if status or args.suite == "bdp":
             return status
 
     n_runs = args.runs if args.runs is not None else (8 if args.quick else 16)

@@ -53,6 +53,11 @@ METRICS = {
         "higher_is_worse": False,
         "label": "speedup vs sequential",
     },
+    "bdp": {
+        "path": ("scorer_speedup",),
+        "higher_is_worse": False,
+        "label": "vectorized scorer speedup",
+    },
     "group_engine": None,
     "fault_overhead": None,
     "parallel_runner": None,

@@ -21,7 +21,9 @@ Quickstart::
 
 from .algorithms import (
     ALGORITHMS,
+    BDPRanker,
     TopKOutcome,
+    bdp_topk,
     crowdbt_topk,
     heapsort_topk,
     hybrid_spr_topk,
@@ -29,6 +31,7 @@ from .algorithms import (
     infimum_estimate,
     pbr_topk,
     quickselect_topk,
+    resume_bdp_topk,
     tournament_topk,
 )
 from .config import (
@@ -40,6 +43,8 @@ from .config import (
     default_resilience,
 )
 from .core import Comparator, ComparisonRecord, ItemSet, JudgmentCache, Outcome
+from .core.estimators import PACTester
+from .core.stopping import ConfidenceStopping, PACStopping, stopping_from_document
 from .core.spr import (
     PartitionResult,
     SPRResult,
@@ -103,11 +108,13 @@ __version__ = "1.0.0"
 __all__ = [
     "ALGORITHMS",
     "AlgorithmError",
+    "BDPRanker",
     "BinaryOracle",
     "BudgetExhaustedError",
     "Comparator",
     "ComparisonConfig",
     "ComparisonRecord",
+    "ConfidenceStopping",
     "ConfigError",
     "CrowdSession",
     "CrowdTopkError",
@@ -128,6 +135,8 @@ __all__ = [
     "ObservatoryServer",
     "OracleError",
     "Outcome",
+    "PACStopping",
+    "PACTester",
     "PartitionResult",
     "QueryBoard",
     "RacingLattice",
@@ -140,6 +149,7 @@ __all__ = [
     "SelectionResult",
     "TopKOutcome",
     "UserTableOracle",
+    "bdp_topk",
     "crowdbt_topk",
     "heapsort_topk",
     "hybrid_spr_topk",
@@ -173,9 +183,11 @@ __all__ = [
     "pbr_topk",
     "quickselect_topk",
     "reference_sort",
+    "resume_bdp_topk",
     "resume_spr_topk",
     "select_reference",
     "spr_topk",
+    "stopping_from_document",
     "top_k_precision",
     "top_k_recall",
     "tournament_topk",

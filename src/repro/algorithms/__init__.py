@@ -7,6 +7,7 @@ names used by the experiment harness to the implementations.
 """
 
 from .base import TopKOutcome
+from .bdp import BDPRanker, bdp_topk, resume_bdp_topk
 from .crowdbt import crowdbt_topk
 from .fullsort import fullsort_topk
 from .heapsort import heapsort_topk
@@ -20,7 +21,9 @@ from .tournament import tournament_topk
 
 __all__ = [
     "ALGORITHMS",
+    "BDPRanker",
     "TopKOutcome",
+    "bdp_topk",
     "borda_topk",
     "crowdbt_topk",
     "elo_topk",
@@ -31,6 +34,7 @@ __all__ = [
     "infimum_estimate",
     "pbr_topk",
     "quickselect_topk",
+    "resume_bdp_topk",
     "spr_adapter",
     "tournament_topk",
 ]
@@ -38,6 +42,7 @@ __all__ = [
 #: Confidence-aware methods runnable through the generic harness.
 ALGORITHMS = {
     "spr": spr_adapter,
+    "bdp": bdp_topk,
     "tournament": tournament_topk,
     "heapsort": heapsort_topk,
     "quickselect": quickselect_topk,

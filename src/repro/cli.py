@@ -16,6 +16,7 @@ Examples::
 
     crowd-topk query --dataset jester --method spr -k 10 --seed 7
     crowd-topk query --dataset imdb --method heapsort -k 5 --n-items 200
+    crowd-topk query --dataset imdb --method bdp -k 5 --n-items 30
     crowd-topk query --method spr --telemetry /tmp/query.jsonl
     crowd-topk query --method spr --checkpoint /tmp/q.ckpt
     crowd-topk query --method spr --checkpoint /tmp/q.ckpt --resume
@@ -51,7 +52,7 @@ import sys
 from collections.abc import Sequence
 
 from . import __version__
-from .algorithms import ALGORITHMS
+from .algorithms import ALGORITHMS, resume_bdp_topk
 from .core.spr import resume_spr_topk
 from .crowd.session import CrowdSession
 from .datasets import DATASET_NAMES, load_dataset
@@ -65,6 +66,7 @@ from .experiments import (
     run_peopleage,
     run_robustness,
     run_scalability,
+    run_spr_vs_bdp,
     run_stein_vs_student,
     run_summary,
     run_sweet_spot,
@@ -144,8 +146,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--checkpoint", metavar="PATH", default=None,
-        help="atomically checkpoint the query to PATH at partition round "
-        "boundaries (SPR only); pair with --resume to continue a killed run",
+        help="atomically checkpoint the query to PATH at round boundaries "
+        "(spr and bdp); pair with --resume to continue a killed run",
     )
     query.add_argument(
         "--checkpoint-every", type=int, default=None, metavar="ROUNDS",
@@ -288,8 +290,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint PATH", file=sys.stderr)
         return 2
-    if args.resume and args.method != "spr":
-        print("error: --resume only supports --method spr", file=sys.stderr)
+    if args.resume and args.method not in ("spr", "bdp"):
+        print("error: --resume only supports --method spr or bdp",
+              file=sys.stderr)
         return 2
     serve_address = None
     if args.serve:
@@ -343,24 +346,29 @@ def _cmd_query(args: argparse.Namespace) -> int:
                     print(f"error: cannot resume from {args.checkpoint}: {exc}",
                           file=sys.stderr)
                     return 1
-                spr_state = (
-                    (session.restored_state or {}).get("query", {}).get("spr")
+                query_state = (
+                    (session.restored_state or {}).get("query", {})
+                    .get(args.method)
                 )
-                if spr_state is None:
+                if query_state is None:
                     print(
-                        f"error: {args.checkpoint} holds no resumable SPR query",
+                        f"error: {args.checkpoint} holds no resumable "
+                        f"{args.method} query",
                         file=sys.stderr,
                     )
                     return 1
                 # The original working set and k come from the checkpoint, so a
                 # resumed query answers exactly the question the killed one
                 # asked.
-                working = dataset.items.restrict(spr_state["items"])
-                k = int(spr_state["k"])
+                working = dataset.items.restrict(query_state["items"])
+                k = int(query_state["k"])
                 session.enable_checkpoints(args.checkpoint, args.checkpoint_every)
+                resume_query = (
+                    resume_spr_topk if args.method == "spr" else resume_bdp_topk
+                )
 
                 def run() -> object:
-                    return resume_spr_topk(session)
+                    return resume_query(session)
             else:
                 params = ExperimentParams(
                     dataset=args.dataset,
@@ -525,6 +533,11 @@ def _exp_robustness(args):
     return [run_robustness(n_runs=args.runs, seed=args.seed)]
 
 
+def _exp_spr_vs_bdp(args):
+    datasets = (args.dataset,) if args.dataset else ("imdb", "book")
+    return [run_spr_vs_bdp(datasets=datasets, n_runs=args.runs, seed=args.seed)]
+
+
 _EXPERIMENTS = {
     "table3": _exp_table3,
     "table4": _exp_table4,
@@ -541,6 +554,7 @@ _EXPERIMENTS = {
     "fig17": _exp_fig17,
     "peopleage": _exp_peopleage,
     "robustness": _exp_robustness,
+    "spr_vs_bdp": _exp_spr_vs_bdp,
 }
 
 

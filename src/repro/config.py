@@ -42,7 +42,7 @@ __all__ = [
 #: against an unreliable platform without touching a single test.
 FAULT_RATE_ENV = "CROWD_TOPK_FAULT_RATE"
 
-EstimatorName = Literal["student", "stein", "hoeffding"]
+EstimatorName = Literal["student", "stein", "hoeffding", "pac"]
 GroupEngineName = Literal["racing", "sequential"]
 
 #: Safety cap used in place of an unbounded per-pair budget (``B = ∞`` in
@@ -269,11 +269,20 @@ class ComparisonConfig:
         ``ceil(w / η)`` rounds.
     estimator:
         Which sequential tester the comparison uses: ``"student"``
-        (Algorithm 1), ``"stein"`` (Algorithm 5) or ``"hoeffding"`` (the
-        binary-judgment baseline of §3.2).
+        (Algorithm 1), ``"stein"`` (Algorithm 5), ``"hoeffding"`` (the
+        binary-judgment baseline of §3.2) or ``"pac"`` (the anytime
+        ``(ε, δ)`` rule of Ren, Liu & Shroff; ``δ = α`` and
+        ``ε = pac_epsilon``).
     stein_epsilon:
         The small positive ``ε`` of Algorithm 5 keeping the Stein interval
         strictly away from the neutral point.
+    pac_epsilon:
+        Approximation tolerance of the ``"pac"`` estimator: a declared
+        winner may be worse than the loser by at most this much (with
+        probability ``1 - α``), which lets near-tie comparisons terminate
+        once the anytime confidence radius shrinks under ``ε``.  ``0``
+        degenerates to an exact anytime sign test.  Ignored by the other
+        estimators.
     group_engine:
         How a *parallel comparison group* (§5.5) is executed.  ``"racing"``
         (the default) advances every pair of the group through one
@@ -300,6 +309,7 @@ class ComparisonConfig:
     batch_size: int = 30
     estimator: EstimatorName = "student"
     stein_epsilon: float = 1e-9
+    pac_epsilon: float = 0.0
     group_engine: GroupEngineName = "racing"
     resilience: ResiliencePolicy = field(default_factory=default_resilience)
 
@@ -316,10 +326,12 @@ class ComparisonConfig:
             )
         if self.batch_size < 1:
             raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
-        if self.estimator not in ("student", "stein", "hoeffding"):
+        if self.estimator not in ("student", "stein", "hoeffding", "pac"):
             raise ConfigError(f"unknown estimator {self.estimator!r}")
         if self.stein_epsilon <= 0:
             raise ConfigError(f"stein_epsilon must be > 0, got {self.stein_epsilon}")
+        if self.pac_epsilon < 0:
+            raise ConfigError(f"pac_epsilon must be >= 0, got {self.pac_epsilon}")
         if self.group_engine not in ("racing", "sequential"):
             raise ConfigError(f"unknown group_engine {self.group_engine!r}")
         if not isinstance(self.resilience, ResiliencePolicy):

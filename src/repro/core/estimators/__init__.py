@@ -1,12 +1,15 @@
 """Sequential confidence testers used by the comparison process.
 
-Three testers are provided, matching the paper:
+Four testers are provided; the first three match the paper:
 
 * :class:`StudentTester` — Algorithm 1, Student's t confidence interval.
 * :class:`SteinTester` — Algorithm 5, Stein's two-stage estimation made
   progressive.
 * :class:`HoeffdingTester` — the distribution-free interval used for
   pairwise *binary* judgments (§3.2, Appendix D).
+* :class:`PACTester` — an anytime PAC ``(ε, δ)`` rule (Ren, Liu &
+  Shroff, PAPERS.md) that tolerates an ``ε``-approximate winner and so
+  terminates on near-ties the classical rules sample forever on.
 
 All testers share the :class:`SequentialTester` interface: push samples,
 ask for a ternary :meth:`~SequentialTester.decision`.  Each also exposes a
@@ -18,6 +21,7 @@ without Python-level loops.
 from ...config import ComparisonConfig
 from .base import MomentState, SequentialTester
 from .hoeffding import HoeffdingTester
+from .pac import PACTester
 from .stein import SteinTester
 from .student import StudentTester
 
@@ -27,6 +31,7 @@ __all__ = [
     "StudentTester",
     "SteinTester",
     "HoeffdingTester",
+    "PACTester",
     "make_tester",
     "TESTER_CLASSES",
 ]
@@ -35,6 +40,7 @@ TESTER_CLASSES = {
     "student": StudentTester,
     "stein": SteinTester,
     "hoeffding": HoeffdingTester,
+    "pac": PACTester,
 }
 
 
@@ -63,5 +69,11 @@ def make_tester(
             alpha=config.alpha,
             min_workload=config.min_workload,
             epsilon=config.stein_epsilon,
+        )
+    if cls is PACTester:
+        return PACTester(
+            alpha=config.alpha,
+            min_workload=config.min_workload,
+            epsilon=config.pac_epsilon,
         )
     return StudentTester(alpha=config.alpha, min_workload=config.min_workload)

@@ -1,0 +1,79 @@
+"""PAC ``(ε, δ)`` sequential tester (anytime-valid LIL confidence bound).
+
+Ren, Liu & Shroff's PAC ranking results (PAPERS.md) replace the paper's
+per-comparison ``1 - α`` guarantee with an *approximation* guarantee:
+the declared winner of a pairwise duel is allowed to be worse than the
+loser, but by at most ``ε``, with probability at least ``1 - δ``.  The
+practical payoff is termination on near-ties: a comparison whose true
+gap is below ``ε`` stops once the confidence radius shrinks under ``ε``
+instead of sampling forever (or until the budget kills it).
+
+The confidence sequence is a finite-LIL bound: at sample count ``n`` the
+radius is
+
+    margin(n) = sqrt(2 · σ̂² · ln((π²/(3δ)) · log₂(2n)²) / n)
+
+which holds *simultaneously over all n* with probability ``1 - δ`` (a
+union bound over doubling epochs — the standard anytime trick from the
+lil'UCB / PAC best-arm literature).  Anytime validity is what makes the
+rule safe to consult after every batch, exactly how racing pools use
+``decision_codes``.
+
+Decision rule (sign convention shared with all testers: ``μ > 0`` means
+the left item leads):
+
+* conclude ``+1`` when ``μ̂ > 0`` and ``μ̂ - margin > -ε`` — left wins,
+  and even in the worst case of the interval the right item leads by
+  less than ``ε``;
+* conclude ``-1`` symmetrically;
+* otherwise keep sampling.
+
+With ``ε = 0`` this degenerates to an anytime-valid sign test (no
+near-tie escape hatch, like the classical testers).  ``δ`` is carried in
+the shared ``alpha`` field so configuration plumbing is uniform.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import SequentialTester, sample_variance
+
+__all__ = ["PACTester"]
+
+
+@dataclass
+class PACTester(SequentialTester):
+    """Anytime ``(ε, δ)`` test of ``μ = 0`` with an ε-tolerant stop.
+
+    ``alpha`` plays the role of ``δ``; ``epsilon`` is the allowed
+    selection error.  ``epsilon = 0`` gives an exact anytime sign test.
+    """
+
+    epsilon: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {self.epsilon}")
+
+    def decision_codes(
+        self, n: np.ndarray, mean: np.ndarray, s2: np.ndarray
+    ) -> np.ndarray:
+        n = np.asarray(n, dtype=np.float64)
+        mean = np.asarray(mean, dtype=np.float64)
+        var = sample_variance(n, mean, np.asarray(s2, dtype=np.float64))
+        with np.errstate(invalid="ignore", divide="ignore"):
+            log_term = np.log(
+                (math.pi * math.pi / (3.0 * self.alpha))
+                * np.square(np.log2(2.0 * n))
+            )
+            margin = np.sqrt(2.0 * var * log_term / n)
+        codes = np.zeros(mean.shape, dtype=np.int8)
+        valid = (n >= 2) & np.isfinite(margin)
+        codes[valid & (mean > 0.0) & (mean - margin > -self.epsilon)] = 1
+        codes[valid & (mean < 0.0) & (mean + margin < self.epsilon)] = -1
+        return codes

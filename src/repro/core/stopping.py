@@ -1,0 +1,163 @@
+"""Pluggable stopping rules for posterior-based ranking queries.
+
+The Bayesian Decision Process ranker (:mod:`repro.algorithms.bdp`) keeps
+one Gamma-shape parameter per item; at any point the posterior
+probability that item ``j`` outranks item ``i`` is a regularized
+incomplete beta evaluated at ``1/2`` (see :func:`pair_error`).  A
+*stopping rule* looks at the current shape vector and decides whether
+the top-k identified so far is trustworthy enough to return.
+
+Two guarantees are offered, mirroring the two comparison-level testers:
+
+* :class:`ConfidenceStopping` — the paper's per-comparison flavour: every
+  member of the returned top-k beats the strongest excluded rival with
+  posterior probability at least ``1 - α``.
+* :class:`PACStopping` — the PAC ``(ε, δ)`` flavour (Ren, Liu & Shroff,
+  PAPERS.md): with posterior probability at least ``1 - δ``, no excluded
+  item beats a returned one by a relative margin exceeding ``ε`` (a
+  union bound over the k boundary events).  Near-ties inside the
+  tolerance stop early instead of being sampled to the budget cap.
+
+Both rules are frozen dataclasses so they ride inside experiment
+``RunSpec`` objects across process boundaries, and both round-trip
+through plain JSON documents (:meth:`to_document` /
+:func:`stopping_from_document`) so a checkpointed BDP query resumes
+under the exact stopping rule it started with.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import betainc
+
+from ..errors import ConfigError
+from .topk import top_k_indices
+
+__all__ = [
+    "ConfidenceStopping",
+    "PACStopping",
+    "RankingStopping",
+    "pair_error",
+    "stopping_from_document",
+]
+
+
+def pair_error(shape_i: np.ndarray, shape_j: np.ndarray) -> np.ndarray:
+    """Posterior probability that item ``j`` outranks item ``i``.
+
+    With independent latent scores ``θ_i ~ Gamma(a_i, 1)`` the ratio
+    ``θ_i / (θ_i + θ_j)`` is Beta(``a_i``, ``a_j``), so
+
+        P(θ_i < θ_j) = I_{1/2}(a_i, a_j)
+
+    (the regularized incomplete beta at ``1/2``).  When ``a_i > a_j``
+    this is the probability that ranking ``i`` above ``j`` is *wrong* —
+    strictly below ``1/2`` and shrinking as evidence accumulates.
+    Vectorized over aligned arrays; broadcasts like the inputs.
+    """
+    return betainc(
+        np.asarray(shape_i, dtype=np.float64),
+        np.asarray(shape_j, dtype=np.float64),
+        0.5,
+    )
+
+
+def _split_boundary(shapes: np.ndarray, k: int) -> tuple[np.ndarray, float] | None:
+    """Top-k member shapes and the strongest excluded rival's shape.
+
+    Returns ``None`` when there is no excluded rival (``k >= n``), in
+    which case any stopping rule is vacuously satisfied.
+    """
+    shapes = np.asarray(shapes, dtype=np.float64)
+    if k >= shapes.size:
+        return None
+    top = top_k_indices(shapes, k)
+    mask = np.ones(shapes.size, dtype=bool)
+    mask[top] = False
+    return shapes[top], float(shapes[mask].max())
+
+
+@dataclass(frozen=True)
+class RankingStopping(ABC):
+    """Decides when a posterior shape vector supports returning a top-k."""
+
+    @abstractmethod
+    def satisfied(self, shapes: np.ndarray, k: int) -> bool:
+        """Whether the current posterior justifies stopping."""
+
+    @abstractmethod
+    def to_document(self) -> dict:
+        """JSON-serializable description, inverted by
+        :func:`stopping_from_document`."""
+
+
+@dataclass(frozen=True)
+class ConfidenceStopping(RankingStopping):
+    """Stop when every returned item beats the strongest excluded rival
+    with posterior probability at least ``1 - alpha``."""
+
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 1.0:
+            raise ConfigError(f"alpha must be in (0, 1), got {self.alpha}")
+
+    def satisfied(self, shapes: np.ndarray, k: int) -> bool:
+        boundary = _split_boundary(shapes, k)
+        if boundary is None:
+            return True
+        top, rival = boundary
+        return float(pair_error(top, rival).max()) <= self.alpha
+
+    def to_document(self) -> dict:
+        return {"kind": "confidence", "alpha": self.alpha}
+
+
+@dataclass(frozen=True)
+class PACStopping(RankingStopping):
+    """Stop when, with posterior probability ``>= 1 - delta``, no excluded
+    item beats a returned one by a relative margin exceeding ``epsilon``.
+
+    The boundary event for member ``t`` vs the strongest rival ``r`` is
+    ``θ_t / (θ_t + θ_r) < 1/2 - ε`` — the rival not merely winning but
+    winning *beyond the tolerance*; its posterior probability is the
+    incomplete beta at ``1/2 - ε``.  Summing over the k members union-
+    bounds the total failure probability by ``delta``.  ``epsilon = 0``
+    recovers a (union-bounded) exact rule; larger ``epsilon`` lets
+    posterior near-ties at the boundary stop early.
+    """
+
+    epsilon: float
+    delta: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.epsilon < 0.5:
+            raise ConfigError(f"epsilon must be in [0, 0.5), got {self.epsilon}")
+        if not 0.0 < self.delta < 1.0:
+            raise ConfigError(f"delta must be in (0, 1), got {self.delta}")
+
+    def satisfied(self, shapes: np.ndarray, k: int) -> bool:
+        boundary = _split_boundary(shapes, k)
+        if boundary is None:
+            return True
+        top, rival = boundary
+        tails = betainc(top, np.full_like(top, rival), 0.5 - self.epsilon)
+        return float(tails.sum()) <= self.delta
+
+    def to_document(self) -> dict:
+        return {"kind": "pac", "epsilon": self.epsilon, "delta": self.delta}
+
+
+def stopping_from_document(document: dict) -> RankingStopping:
+    """Revive a stopping rule from its :meth:`~RankingStopping.to_document`."""
+    kind = document.get("kind")
+    if kind == "confidence":
+        return ConfidenceStopping(alpha=float(document["alpha"]))
+    if kind == "pac":
+        return PACStopping(
+            epsilon=float(document["epsilon"]), delta=float(document["delta"])
+        )
+    raise ConfigError(f"unknown stopping rule kind {kind!r}")

@@ -30,7 +30,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..config import ComparisonConfig
-from ..core.estimators import HoeffdingTester, SteinTester, make_tester
+from ..core.estimators import HoeffdingTester, PACTester, SteinTester, make_tester
 from ..core.estimators.base import sample_variance
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -248,6 +248,8 @@ class RacingPool:
             )
         elif isinstance(tester, HoeffdingTester):
             self._eval_sig = ("codes", type(tester), tester.alpha, tester.value_range)
+        elif isinstance(tester, PACTester):
+            self._eval_sig = ("codes", type(tester), tester.alpha, tester.epsilon)
         else:
             self._eval_sig = ("codes", type(tester), tester.alpha)
 

@@ -35,6 +35,7 @@ from .reporting import Report
 from .robustness import run_robustness
 from .runner import MethodStats, RunRecord, run_infimum, run_method, run_methods
 from .scalability import run_scalability
+from .spr_vs_bdp import run_spr_vs_bdp
 from .stein_vs_student import run_stein_vs_student
 from .summary import run_summary
 from .sweet_spot import run_sweet_spot
@@ -73,6 +74,7 @@ __all__ = [
     "run_phase_breakdown",
     "run_robustness",
     "run_scalability",
+    "run_spr_vs_bdp",
     "run_stein_vs_student",
     "run_summary",
     "run_sweet_spot",

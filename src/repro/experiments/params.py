@@ -48,6 +48,7 @@ class ExperimentParams:
     min_workload: int = 30
     batch_size: int = 30
     estimator: str = "student"
+    pac_epsilon: float = 0.0
     group_engine: str = "racing"
     sweet_spot: float = 1.5
     max_reference_changes: int = 2
@@ -73,6 +74,7 @@ class ExperimentParams:
             min_workload=self.min_workload,
             batch_size=self.batch_size,
             estimator=self.estimator,  # type: ignore[arg-type]
+            pac_epsilon=self.pac_epsilon,
             group_engine=self.group_engine,  # type: ignore[arg-type]
         )
 

@@ -1,0 +1,60 @@
+"""SPR vs the Bayesian Decision Process ranker, head to head.
+
+The ROADMAP's "second algorithm family" comparison: the paper's
+select/partition/rank framework against the active-learning BDP ranker
+(:mod:`repro.algorithms.bdp`) on identical cells — same datasets, same
+comparison configuration, independent seeded run streams.  Cost (TMC),
+latency and quality land in one table so the paradigms can be compared
+directly rather than across papers.
+"""
+
+from __future__ import annotations
+
+from .params import ExperimentParams
+from .reporting import Report
+from .runner import run_methods
+
+__all__ = ["run_spr_vs_bdp"]
+
+
+def run_spr_vs_bdp(
+    datasets: tuple[str, ...] = ("imdb", "book"),
+    n_runs: int = 5,
+    seed: int = 0,
+    n_items: int | None = 30,
+    k: int = 5,
+    n_jobs: int | None = None,
+) -> Report:
+    """Run SPR and BDP on the same cells and tabulate cost vs quality.
+
+    ``n_items`` defaults to a laptop-scale 30-item subset: BDP's
+    one-step lookahead scores all O(N²) pairs per round, so its sweet
+    spot is moderate N where comparison cost, not scoring, dominates —
+    the same regime the paper's accuracy experiments use.
+    """
+    methods = ["spr", "bdp"]
+    report = Report(
+        title="SPR vs BDP: cost and quality, same cells",
+        columns=["spr TMC", "bdp TMC", "spr nDCG", "bdp nDCG"],
+    )
+    for dataset in datasets:
+        params = ExperimentParams(
+            dataset=dataset, n_items=n_items, k=k, n_runs=n_runs, seed=seed
+        )
+        stats = run_methods(methods, params, n_jobs=n_jobs)
+        spr, bdp = stats["spr"], stats["bdp"]
+        report.add_row(
+            dataset,
+            [spr.mean_cost, bdp.mean_cost, spr.mean_ndcg, bdp.mean_ndcg],
+        )
+        report.add_note(
+            f"{dataset}: latency {spr.mean_rounds:,.0f} vs "
+            f"{bdp.mean_rounds:,.0f} rounds; BDP TMC "
+            f"{bdp.mean_cost / spr.mean_cost:.2f}x SPR"
+        )
+    report.add_note(
+        f"averaged over {n_runs} runs, seed={seed}, "
+        f"n_items={n_items}, k={k}; BDP uses its default confidence "
+        "stopping at the cell's alpha"
+    )
+    return report

@@ -9,7 +9,7 @@ interval around it.  A check **passes** when the interval's upper bound
 stays at or below the declared maximum failure rate — a much stronger
 statement than "the point estimate looked fine".
 
-Three checks ship by default:
+Five checks ship by default:
 
 ``comparison``
     One COMP verdict per replication on a two-item instance with a
@@ -27,6 +27,19 @@ Three checks ship by default:
     failure is a slot not occupied by a true top-k item.  The guarantee
     line is the §5.4 bound: the miss rate may not exceed
     ``1 − (1 − α)/c``.
+``bdp_recall``
+    Full BDP queries (:mod:`repro.algorithms.bdp`) on gap instances
+    whose top-k/rest boundary is separated by at least ``2σ``; each of
+    the ``k`` result slots is a trial and a failure is a missed slot.
+    With the verdict-backed boundary refinement a miss requires an
+    actually-wrong ``1 − α`` comparison verdict, so the guarantee line
+    is ``α``.
+``pac_comparison``
+    One verdict from the anytime :class:`~repro.core.estimators.PACTester`
+    (ε = 0.25, δ = α) on a randomized two-item instance; a failure is a
+    decided verdict contradicting a latent gap larger than ε.  Gaps
+    within the ε-tolerance are free — any decision is PAC-admissible —
+    and budget ties are excluded from the error count as above.
 
 Replications fan out over a process pool exactly like
 :mod:`repro.experiments.parallel`: per-replication generators are
@@ -44,8 +57,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..algorithms.bdp import bdp_topk
 from ..config import ComparisonConfig, SPRConfig
 from ..core.outcomes import Outcome
+from ..core.stopping import ConfidenceStopping
 from ..core.spr import expected_precision_lower_bound, partition, spr_topk
 from ..core.topk import top_k_indices
 from ..crowd.oracle import LatentScoreOracle
@@ -68,7 +83,13 @@ __all__ = [
 
 #: The α grid of the acceptance criterion.
 DEFAULT_ALPHAS: tuple[float, ...] = (0.05, 0.1)
-DEFAULT_CHECKS: tuple[str, ...] = ("comparison", "partition", "spr_recall")
+DEFAULT_CHECKS: tuple[str, ...] = (
+    "comparison",
+    "partition",
+    "spr_recall",
+    "bdp_recall",
+    "pac_comparison",
+)
 DEFAULT_REPLICATIONS = 200
 
 #: z for the two-sided 95% Wilson interval reported around failure rates.
@@ -83,6 +104,12 @@ _PARTITION_N, _PARTITION_K = 20, 4
 _SCORE_SPREAD = 3.0
 _SPR_N, _SPR_K, _SPR_C = 30, 5, 1.5
 _PHASE_CONFIG = dict(budget=300, min_workload=10, batch_size=20)
+_BDP_N, _BDP_K = 15, 3
+_BDP_GAP = 2.0  # enforced top-k boundary separation, in latent-score units
+_BDP_CONFIG = dict(budget=400, min_workload=10, batch_size=20)
+_PAC_EPSILON = 0.25
+_PAC_GAP_MAX = 0.6  # straddles ε so both regimes of the guarantee are hit
+_PAC_CONFIG = dict(budget=1000, min_workload=10, batch_size=20)
 
 
 def wilson_interval(
@@ -285,10 +312,70 @@ def _spr_replication(alpha: float, rng: np.random.Generator) -> _ReplicationOutc
     return _ReplicationOutcome(_SPR_K, _SPR_K - hits, session.total_cost, 0)
 
 
+def _bdp_replication(alpha: float, rng: np.random.Generator) -> _ReplicationOutcome:
+    """One full BDP query on a gap instance; each result slot is a trial.
+
+    The top-k/rest boundary is widened to at least ``_BDP_GAP`` latent
+    units so a missed slot implies an actually-wrong comparison verdict
+    (the refinement ranks the boundary by direct verdicts), putting the
+    miss rate under the per-comparison ``α`` bound.
+    """
+    scores = rng.normal(0.0, _SCORE_SPREAD, _BDP_N)
+    order = np.argsort(scores)[::-1]
+    boundary_gap = scores[order[_BDP_K - 1]] - scores[order[_BDP_K]]
+    if boundary_gap < _BDP_GAP:
+        scores[order[:_BDP_K]] += _BDP_GAP - boundary_gap
+    true_topk = {int(i) for i in order[:_BDP_K]}
+    oracle = LatentScoreOracle(scores, GaussianNoise(1.0))
+    config = ComparisonConfig(confidence=1.0 - alpha, **_BDP_CONFIG)
+    session = CrowdSession(oracle, config, seed=rng)
+    result = bdp_topk(
+        session,
+        list(range(_BDP_N)),
+        _BDP_K,
+        stopping=ConfidenceStopping(alpha=alpha),
+    )
+    hits = len(set(result.topk) & true_topk)
+    ties = int(result.extras["ties"])
+    return _ReplicationOutcome(_BDP_K, _BDP_K - hits, session.total_cost, ties)
+
+
+def _pac_comparison_replication(
+    alpha: float, rng: np.random.Generator
+) -> _ReplicationOutcome:
+    """One PAC-tester verdict; a failure needs a gap beyond ε.
+
+    The latent gap straddles ε so both regimes are exercised: within the
+    tolerance every decision is admissible (trial counted, failure
+    impossible); beyond it a wrong decided winner is a PAC violation,
+    which the (ε, δ=α) guarantee bounds by α.
+    """
+    gap = rng.uniform(0.0, _PAC_GAP_MAX) * (1.0 if rng.random() < 0.5 else -1.0)
+    oracle = LatentScoreOracle(np.array([gap, 0.0]), GaussianNoise(_COMP_SIGMA))
+    config = ComparisonConfig(
+        confidence=1.0 - alpha,
+        estimator="pac",
+        pac_epsilon=_PAC_EPSILON,
+        **_PAC_CONFIG,
+    )
+    session = CrowdSession(oracle, config, seed=rng)
+    record = session.compare(0, 1)
+    if record.outcome is Outcome.TIE:
+        return _ReplicationOutcome(1, 0, session.total_cost, 1)
+    if abs(gap) <= _PAC_EPSILON:
+        return _ReplicationOutcome(1, 0, session.total_cost, 0)
+    correct = 0 if gap > 0 else 1
+    return _ReplicationOutcome(
+        1, int(record.winner != correct), session.total_cost, 0
+    )
+
+
 _SCENARIOS = {
     "comparison": _comparison_replication,
     "partition": _partition_replication,
     "spr_recall": _spr_replication,
+    "bdp_recall": _bdp_replication,
+    "pac_comparison": _pac_comparison_replication,
 }
 
 

@@ -52,6 +52,7 @@ class TestRegistry:
     def test_registry_names(self):
         assert set(ALGORITHMS) == {
             "spr", "tournament", "heapsort", "quickselect", "pbr", "fullsort",
+            "bdp",
         }
 
     def test_all_registry_entries_share_signature(self):

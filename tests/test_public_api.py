@@ -16,11 +16,13 @@ import repro
 PUBLIC_API = [
     "ALGORITHMS",
     "AlgorithmError",
+    "BDPRanker",
     "BinaryOracle",
     "BudgetExhaustedError",
     "Comparator",
     "ComparisonConfig",
     "ComparisonRecord",
+    "ConfidenceStopping",
     "ConfigError",
     "CrowdSession",
     "CrowdTopkError",
@@ -41,6 +43,8 @@ PUBLIC_API = [
     "ObservatoryServer",
     "OracleError",
     "Outcome",
+    "PACStopping",
+    "PACTester",
     "PartitionResult",
     "QueryBoard",
     "QueryPlan",
@@ -56,6 +60,7 @@ PUBLIC_API = [
     "TopKOutcome",
     "UserTableOracle",
     "__version__",
+    "bdp_topk",
     "cache_from_json",
     "cache_to_json",
     "crowdbt_topk",
@@ -78,6 +83,7 @@ PUBLIC_API = [
     "quickselect_topk",
     "race_group",
     "reference_sort",
+    "resume_bdp_topk",
     "resume_spr_topk",
     "run_golden_suite",
     "run_guarantee_suite",
@@ -88,6 +94,7 @@ PUBLIC_API = [
     "select_reference",
     "set_registry",
     "spr_topk",
+    "stopping_from_document",
     "top_k_precision",
     "top_k_recall",
     "tournament_topk",
@@ -127,6 +134,20 @@ class TestPublicApiSnapshot:
             "ExplainReport",
             "explain_query",
             "parse_address",
+        ):
+            assert name in repro.__all__, name
+
+    def test_bdp_surface_is_public(self):
+        # The second algorithm family: the BDP ranker, its resume entry
+        # point, and the PAC / confidence stopping layer it plugs into.
+        for name in (
+            "BDPRanker",
+            "bdp_topk",
+            "resume_bdp_topk",
+            "PACTester",
+            "ConfidenceStopping",
+            "PACStopping",
+            "stopping_from_document",
         ):
             assert name in repro.__all__, name
 

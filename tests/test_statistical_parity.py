@@ -92,3 +92,34 @@ class TestEngineDistributionalParity:
                 decided[engine] += sum(r.outcome.decided for r in records)
         assert totals["racing"] == pytest.approx(totals["sequential"], rel=0.15)
         assert abs(decided["racing"] - decided["sequential"]) <= SEEDS
+
+
+class TestBDPGuaranteeChecks:
+    """The second algorithm family's Monte-Carlo guarantees.
+
+    Same philosophy as the engine parity above: what BDP promises is
+    distributional — a top-k recall and a PAC violation rate bounded by
+    α — so it is pinned by many replications and a Wilson interval, not
+    by a single seed.  These are the ``bdp_recall`` and
+    ``pac_comparison`` cells the nightly guarantees job also runs.
+    """
+
+    def test_bdp_recall_and_pac_rates_stay_under_wilson_bound(self):
+        from repro.validation.guarantees import run_guarantee_suite
+
+        report = run_guarantee_suite(
+            alphas=(0.05,),
+            replications=120,
+            n_jobs=4,
+            checks=("bdp_recall", "pac_comparison"),
+        )
+        by_name = {check.name: check for check in report.checks}
+        for name in ("bdp_recall", "pac_comparison"):
+            check = by_name[name]
+            assert check.trials >= 120, name
+            assert check.wilson_high <= check.max_failure_rate, (
+                f"{name}: {check.failures}/{check.trials} failures, "
+                f"wilson95 upper {check.wilson_high:.4f} exceeds "
+                f"{check.max_failure_rate:.4f}"
+            )
+        assert report.passed

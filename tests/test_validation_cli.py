@@ -89,7 +89,10 @@ class TestReportArtifact:
         suite = payload["suites"]["guarantees"]
         assert suite["replications"] == 6 and suite["seed"] == 7
         names = {c["name"] for c in suite["checks"]}
-        assert names == {"comparison", "partition", "spr_recall"}
+        assert names == {
+            "comparison", "partition", "spr_recall",
+            "bdp_recall", "pac_comparison",
+        }
         for check in suite["checks"]:
             assert check["alpha"] == 0.1
             assert 0.0 <= check["wilson_low"] <= check["wilson_high"] <= 1.0
@@ -136,6 +139,9 @@ class TestTelemetryStream:
             l for l in counter_lines
             if l["name"] == "validation_replications_total"
         )
-        assert rep["labels"]["check"] in {"comparison", "partition", "spr_recall"}
+        assert rep["labels"]["check"] in {
+            "comparison", "partition", "spr_recall",
+            "bdp_recall", "pac_comparison",
+        }
         span_names = {s["name"] for s in snapshot["spans"]}
         assert "validation.guarantees" in span_names
