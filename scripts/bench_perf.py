@@ -44,6 +44,17 @@ Three suites, all selectable via ``--suite`` (default ``all``):
     legs run back to back on the same host) so the bench-trend gate can
     track it.
 
+``service``
+    Prices the multi-tenant query service against bare standalone runs.
+    One batch of single-tenant-per-query specs is answered three ways —
+    sequential ``run_query`` calls, the same specs through a one-worker
+    ``QueryService`` (pure front-door overhead: handles, admission, the
+    marketplace, the shared cache), and through a multi-worker service
+    (throughput).  Every spec runs cold (distinct tenants), so all three
+    legs must return **identical** top-k/cost/rounds, and the serial
+    service leg's per-query overhead must stay **under 10%**.  Writes
+    ``BENCH_service.json``.
+
 ``apply``
     Profiles the *apply* side of a racing round.  Runs a serial
     ``--apply-runs``-seed SPR workload (default 8) twice: an unprofiled
@@ -64,6 +75,7 @@ Usage::
     PYTHONPATH=src python scripts/bench_perf.py --suite lattice
     PYTHONPATH=src python scripts/bench_perf.py --suite apply --repeat 5
     PYTHONPATH=src python scripts/bench_perf.py --suite bdp
+    PYTHONPATH=src python scripts/bench_perf.py --suite service
 
 Runner speedup scales with available cores; group-engine speedup is
 core-independent (it removes Python interpreter overhead, not work).  The
@@ -109,6 +121,7 @@ FAULT_OUTPUT = _ROOT / "BENCH_fault_overhead.json"
 LATTICE_OUTPUT = _ROOT / "BENCH_lattice.json"
 APPLY_OUTPUT = _ROOT / "BENCH_apply.json"
 BDP_OUTPUT = _ROOT / "BENCH_bdp.json"
+SERVICE_OUTPUT = _ROOT / "BENCH_service.json"
 HISTORY_OUTPUT = _ROOT / "BENCH_history.jsonl"
 
 
@@ -800,11 +813,140 @@ def bench_bdp(args) -> int:
     return 0
 
 
+def bench_service(args) -> int:
+    """Price the query service's front door against bare standalone runs.
+
+    Every spec gets its own tenant, so each service query starts on a
+    cold cache namespace and must reproduce the standalone run bit for
+    bit — what remains is pure service machinery (handles, admission,
+    the fair marketplace's spend gate, cache wiring).  The overhead
+    figure is the median of per-repetition pairwise ratios between
+    interleaved serial legs, the same noise handling as the faults
+    suite: host speed drift cancels inside each ratio.
+    """
+    from repro.service import QueryService, QuerySpec, run_query
+
+    n_queries = max(args.service_queries // 2, 4) if args.quick else args.service_queries
+    n_items = 60 if args.quick else 100
+    repeats = 5 if args.quick else 7
+    specs = [
+        QuerySpec(
+            method="spr", k=5, dataset=args.dataset, n_items=n_items,
+            seed=seed, tenant=f"bench-{seed}",
+        )
+        for seed in range(n_queries)
+    ]
+
+    def view(outcomes):
+        return [(list(o.topk), o.cost, o.rounds) for o in outcomes]
+
+    def standalone():
+        with use_registry(MetricsRegistry()):
+            started = time.perf_counter()
+            outcomes = [run_query(spec) for spec in specs]
+            return time.perf_counter() - started, outcomes
+
+    def through_service(workers: int):
+        with use_registry(MetricsRegistry()):
+            started = time.perf_counter()
+            with QueryService(
+                max_workers=workers, registry=MetricsRegistry()
+            ) as service:
+                handles = [service.submit(spec) for spec in specs]
+                outcomes = [h.result(timeout=600) for h in handles]
+            return time.perf_counter() - started, outcomes
+
+    print(
+        f"service legs (spr, {args.dataset}, N={n_items}, "
+        f"{n_queries} queries/{n_queries} tenants, interleaved best of "
+        f"{repeats}) ...", flush=True,
+    )
+    standalone()  # warm-up: loads the dataset cache, untimed
+    times = {"standalone_serial": [], "service_serial": []}
+    views = {}
+    for _ in range(repeats):
+        elapsed, outcomes = standalone()
+        times["standalone_serial"].append(elapsed)
+        views["standalone_serial"] = view(outcomes)
+        elapsed, outcomes = through_service(workers=1)
+        times["service_serial"].append(elapsed)
+        views["service_serial"] = view(outcomes)
+    concurrent_s = float("inf")
+    for _ in range(min(repeats, 3)):
+        elapsed, outcomes = through_service(workers=args.jobs)
+        concurrent_s = min(concurrent_s, elapsed)
+        views["service_concurrent"] = view(outcomes)
+
+    identical = (
+        views["standalone_serial"] == views["service_serial"]
+        == views["service_concurrent"]
+    )
+    ratios = sorted(
+        service / bare
+        for service, bare in zip(
+            times["service_serial"], times["standalone_serial"]
+        )
+        if bare > 0
+    )
+    overhead_ratio = ratios[len(ratios) // 2] if ratios else float("inf")
+    overhead = overhead_ratio - 1.0
+    overhead_ok = overhead < 0.10
+    best = {name: min(values) for name, values in times.items()}
+    throughput = n_queries / concurrent_s if concurrent_s else float("inf")
+    for name, seconds in {**best, "service_concurrent": concurrent_s}.items():
+        print(f"  {name}: {seconds:.3f}s "
+              f"({seconds / n_queries * 1e3:.1f}ms/query)")
+
+    payload = {
+        "benchmark": "service",
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "host": _host(),
+        "workload": (
+            f"spr k=5 on {args.dataset} N={n_items}, {n_queries} queries "
+            f"({n_queries} tenants, cold cache), seeds 0..{n_queries - 1}"
+        ),
+        "quick": args.quick,
+        "repeats": repeats,
+        "queries": n_queries,
+        "workers_concurrent": args.jobs,
+        "legs": {
+            "standalone_serial": {"seconds": round(best["standalone_serial"], 4)},
+            "service_serial": {"seconds": round(best["service_serial"], 4)},
+            "service_concurrent": {"seconds": round(concurrent_s, 4)},
+        },
+        "overhead_ratio_service_vs_standalone": round(overhead_ratio, 4),
+        "per_query_overhead": round(overhead, 4),
+        "overhead_under_10pct": overhead_ok,
+        "throughput_queries_per_second": round(throughput, 3),
+        "concurrency_speedup": round(
+            best["standalone_serial"] / concurrent_s, 3
+        ) if concurrent_s else float("inf"),
+        "results_identical": identical,
+    }
+    args.service_output.write_text(json.dumps(payload, indent=2) + "\n")
+    _append_history(payload, args.history)
+    print(
+        f"service overhead: {overhead * 100:.2f}% per query, "
+        f"{throughput:.1f} q/s at {args.jobs} workers "
+        f"(identical results: {identical}) -> {args.service_output}"
+    )
+    if not identical:
+        print("error: service results diverge from standalone runs",
+              file=sys.stderr)
+        return 1
+    if not overhead_ok:
+        print("error: service front door costs >= 10% per query",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("all", "runner", "group", "faults", "lattice", "apply", "bdp"),
+        choices=("all", "runner", "group", "faults", "lattice", "apply",
+                 "bdp", "service"),
         default="all", help="which benchmark(s) to run")
     parser.add_argument("--jobs", type=int, default=4,
                         help="worker processes for the parallel leg (default 4)")
@@ -834,6 +976,11 @@ def main(argv=None) -> int:
                         default=APPLY_OUTPUT)
     parser.add_argument("--bdp-output", type=pathlib.Path,
                         default=BDP_OUTPUT)
+    parser.add_argument("--service-queries", type=int, default=8,
+                        help="queries in the service benchmark batch "
+                        "(default 8; --quick halves it)")
+    parser.add_argument("--service-output", type=pathlib.Path,
+                        default=SERVICE_OUTPUT)
     parser.add_argument("--repeat", type=int, default=3,
                         help="wall-time repetitions per timed leg; the best "
                         "is reported (default 3)")
@@ -870,6 +1017,11 @@ def main(argv=None) -> int:
     if args.suite in ("all", "bdp"):
         status = bench_bdp(args)
         if status or args.suite == "bdp":
+            return status
+
+    if args.suite in ("all", "service"):
+        status = bench_service(args)
+        if status or args.suite == "service":
             return status
 
     n_runs = args.runs if args.runs is not None else (8 if args.quick else 16)

@@ -58,6 +58,11 @@ METRICS = {
         "higher_is_worse": False,
         "label": "vectorized scorer speedup",
     },
+    "service": {
+        "path": ("overhead_ratio_service_vs_standalone",),
+        "higher_is_worse": True,
+        "label": "service per-query overhead ratio",
+    },
     "group_engine": None,
     "fault_overhead": None,
     "parallel_runner": None,

@@ -71,13 +71,18 @@ from .crowd import (
 )
 from .datasets import DATASET_NAMES, Dataset, load_dataset
 from .errors import (
+    AdmissionError,
     AlgorithmError,
     BudgetExhaustedError,
     ConfigError,
     CrowdTopkError,
     DatasetError,
     OracleError,
+    QueryCancelledError,
+    ServiceError,
+    SLAExceededError,
 )
+from .execution import DEFAULT_EXECUTION, ExecutionPolicy, execution_policy_from_dict
 from .metrics import kendall_tau, ndcg_at_k, top_k_precision, top_k_recall
 from .persistence import (
     cache_from_json,
@@ -89,6 +94,14 @@ from .persistence import (
 )
 from .planner import QueryPlan, plan_query
 from .reports import ExplainReport, explain_query
+from .service import (
+    QueryHandle,
+    QueryService,
+    QuerySpec,
+    SharedJudgmentCache,
+    run_query,
+    spec_from_document,
+)
 from .telemetry import (
     FlightRecorder,
     JsonlSink,
@@ -107,6 +120,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
+    "AdmissionError",
     "AlgorithmError",
     "BDPRanker",
     "BinaryOracle",
@@ -119,8 +133,10 @@ __all__ = [
     "CrowdSession",
     "CrowdTopkError",
     "DATASET_NAMES",
+    "DEFAULT_EXECUTION",
     "Dataset",
     "DatasetError",
+    "ExecutionPolicy",
     "ExplainReport",
     "FaultInjector",
     "FaultPolicy",
@@ -139,14 +155,21 @@ __all__ = [
     "PACTester",
     "PartitionResult",
     "QueryBoard",
+    "QueryCancelledError",
+    "QueryHandle",
+    "QueryService",
+    "QuerySpec",
     "RacingLattice",
     "RacingPool",
     "RecordDatabaseOracle",
     "ResiliencePolicy",
     "RetryPolicy",
+    "SLAExceededError",
     "SPRConfig",
     "SPRResult",
     "SelectionResult",
+    "ServiceError",
+    "SharedJudgmentCache",
     "TopKOutcome",
     "UserTableOracle",
     "bdp_topk",
@@ -163,6 +186,7 @@ __all__ = [
     "cache_from_json",
     "cache_to_json",
     "default_resilience",
+    "execution_policy_from_dict",
     "explain_query",
     "get_registry",
     "load_cache",
@@ -185,7 +209,9 @@ __all__ = [
     "reference_sort",
     "resume_bdp_topk",
     "resume_spr_topk",
+    "run_query",
     "select_reference",
+    "spec_from_document",
     "spr_topk",
     "stopping_from_document",
     "top_k_precision",

@@ -11,6 +11,10 @@ Three subcommands cover the common workflows without writing Python:
   figures at a chosen run count.
 * ``crowd-topk validate`` — run the statistical validation suites
   (empirical guarantee checking, runtime invariants, golden traces).
+* ``crowd-topk serve`` — run the multi-tenant query service behind a
+  live observatory; accepts queries over HTTP.
+* ``crowd-topk submit`` — send a :class:`~repro.service.QuerySpec` to a
+  running service and (optionally) wait for the answer.
 
 Examples::
 
@@ -22,6 +26,10 @@ Examples::
     crowd-topk query --method spr --checkpoint /tmp/q.ckpt --resume
     crowd-topk query --method spr --serve 127.0.0.1:9188
     crowd-topk query --method spr --flight-recorder /tmp/flight.json
+    crowd-topk serve 127.0.0.1:9188 --workers 4 --capacity 500000
+    crowd-topk serve :0 --state-dir /tmp/svc --recover
+    crowd-topk submit --server http://127.0.0.1:9188 --method spr -k 5 \
+        --dataset synthetic --n-items 20 --tenant acme --wait
     crowd-topk explain --dataset imdb -k 5 --n-items 60 --json
     crowd-topk -v experiment table7 --runs 3
     crowd-topk experiment fig8 --dataset book --runs 2
@@ -77,6 +85,7 @@ from .experiments import (
 from .metrics import ndcg_at_k, top_k_precision
 from .planner import plan_query
 from .reports import explain_query
+from .service import QuerySpec, execute_spec, session_for
 from .telemetry import (
     FlightRecorder,
     JsonlSink,
@@ -276,6 +285,112 @@ def build_parser() -> argparse.ArgumentParser:
         "--update-golden", action="store_true",
         help="re-pin the golden traces instead of diffing against them",
     )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the multi-tenant query service over HTTP",
+        description="Start a long-lived QueryService behind a live "
+        "observatory.  GET /metrics, /healthz, /queries, /events plus "
+        "POST /submit, POST /cancel?id=..., GET /result?id=... stay up "
+        "until interrupted.",
+    )
+    serve.add_argument(
+        "address", nargs="?", default="127.0.0.1:0",
+        help="bind address HOST:PORT (default 127.0.0.1:0 — an ephemeral "
+        "port, printed on startup)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="queries running simultaneously (default 4)",
+    )
+    serve.add_argument(
+        "--capacity", type=int, default=None, metavar="MICROTASKS",
+        help="admission-control bound on the summed cost SLAs of "
+        "unfinished queries (default: unbounded)",
+    )
+    serve.add_argument(
+        "--admission", choices=("queue", "reject"), default="queue",
+        help="over-capacity policy: park the query or reject the "
+        "submission (default queue)",
+    )
+    serve.add_argument(
+        "--slots", type=int, default=4, metavar="N",
+        help="marketplace rounds in flight at once (default 4)",
+    )
+    serve.add_argument(
+        "--quantum", type=int, default=500, metavar="MICROTASKS",
+        help="deficit-round-robin quantum per tenant visit (default 500)",
+    )
+    serve.add_argument(
+        "--cache-entries", type=int, default=None, metavar="N",
+        help="global bound on cached pairs (default: unbounded)",
+    )
+    serve.add_argument(
+        "--cache-bytes", type=int, default=None, metavar="BYTES",
+        help="global bound on cached judgment bytes (default: unbounded)",
+    )
+    serve.add_argument(
+        "--state-dir", metavar="DIR", default=None,
+        help="persist specs, checkpoints and results under DIR so killed "
+        "queries can be recovered",
+    )
+    serve.add_argument(
+        "--recover", action="store_true",
+        help="resume unfinished queries found in --state-dir on startup",
+    )
+
+    submit = commands.add_parser(
+        "submit",
+        help="submit a query to a running service",
+        description="POST a QuerySpec document to a crowd-topk serve "
+        "instance.  Prints the assigned query id; with --wait, polls "
+        "/result and prints the outcome.",
+    )
+    submit.add_argument(
+        "--server", metavar="URL", default="http://127.0.0.1:9188",
+        help="service base URL (default http://127.0.0.1:9188)",
+    )
+    submit.add_argument(
+        "--spec", metavar="PATH", default=None,
+        help="JSON QuerySpec document; explicit flags below override its "
+        "fields",
+    )
+    submit.add_argument("--method", choices=sorted(ALGORITHMS), default=None)
+    submit.add_argument("-k", type=int, default=None, help="result size")
+    submit.add_argument("--dataset", choices=DATASET_NAMES, default=None)
+    submit.add_argument(
+        "--n-items", type=int, default=None,
+        help="deterministic first-n item subset (default: all)",
+    )
+    submit.add_argument("--confidence", type=float, default=None)
+    submit.add_argument("--budget", type=int, default=None)
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument("--tenant", default=None, help="owning tenant")
+    submit.add_argument(
+        "--cost-sla", type=int, default=None, metavar="MICROTASKS",
+        help="hard microtask ceiling (also the admission commitment)",
+    )
+    submit.add_argument(
+        "--latency-sla", type=int, default=None, metavar="ROUNDS",
+        help="hard latency-round ceiling",
+    )
+    submit.add_argument("--name", default=None, help="display name")
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="poll /result until the query finishes and print the outcome",
+    )
+    submit.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="polling interval for --wait (default 0.2)",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="give up waiting after SECONDS (default 600)",
+    )
+    submit.add_argument(
+        "--json", action="store_true",
+        help="print raw JSON responses instead of the summary lines",
+    )
     return parser
 
 
@@ -379,18 +494,26 @@ def _cmd_query(args: argparse.Namespace) -> int:
                     n_runs=1,
                     seed=args.seed,
                 )
-                session = dataset.session(
-                    params.comparison_config(), seed=args.seed
+                # The one-shot CLI is a thin adapter over the same
+                # QuerySpec dispatch the service uses, so the two doors
+                # cannot drift apart.
+                spec = QuerySpec(
+                    method=args.method,
+                    k=args.k,
+                    dataset=args.dataset,
+                    n_items=args.n_items,
+                    comparison=params.comparison_config(),
+                    seed=args.seed,
                 )
+                session, _ = session_for(spec, registry)
                 if args.checkpoint:
                     session.enable_checkpoints(
                         args.checkpoint, args.checkpoint_every
                     )
-                algorithm = ALGORITHMS[args.method]
                 items = working.ids.tolist()
 
                 def run() -> object:
-                    return algorithm(session, items, k)
+                    return execute_spec(session, spec, items)
 
             if recorder is not None:
                 recorder.attach(session=session)
@@ -623,6 +746,182 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if passed else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from .service import QueryService
+
+    try:
+        address = parse_address(args.address)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.recover and not args.state_dir:
+        print("error: --recover requires --state-dir DIR", file=sys.stderr)
+        return 2
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        recorder = FlightRecorder()
+        recorder.attach(registry=registry)
+        service = QueryService(
+            max_workers=args.workers,
+            capacity=args.capacity,
+            admission=args.admission,
+            marketplace_slots=args.slots,
+            quantum=args.quantum,
+            cache_entries=args.cache_entries,
+            cache_bytes=args.cache_bytes,
+            state_dir=args.state_dir,
+            registry=registry,
+        )
+        observatory = None
+        try:
+            if args.recover:
+                revived = service.recover()
+                print(
+                    f"recovered {len(revived)} unfinished "
+                    f"quer{'y' if len(revived) == 1 else 'ies'} "
+                    f"from {args.state_dir}",
+                    file=sys.stderr,
+                )
+            try:
+                observatory = ObservatoryServer(
+                    registry=registry,
+                    recorder=recorder,
+                    service=service,
+                    host=address[0],
+                    port=address[1],
+                ).start()
+            except OSError as exc:
+                print(f"error: cannot serve on {args.address}: {exc}",
+                      file=sys.stderr)
+                return 1
+            print(f"observatory serving at {observatory.url}", file=sys.stderr)
+            print(
+                f"query service ready: workers={args.workers} "
+                f"capacity={args.capacity if args.capacity is not None else 'unbounded'} "
+                f"admission={args.admission}",
+                file=sys.stderr,
+            )
+            try:
+                while True:
+                    time.sleep(0.5)
+            except KeyboardInterrupt:
+                print("shutting down", file=sys.stderr)
+        finally:
+            if observatory is not None:
+                observatory.stop()
+            service.close(wait=False)
+    return 0
+
+
+def _service_request(
+    method: str, url: str, payload: dict | None = None
+) -> tuple[int, dict]:
+    """One JSON request against a running service; (status, document)."""
+    import urllib.request
+
+    data = json.dumps(payload).encode("utf-8") if payload is not None else None
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    import urllib.error
+
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        body = exc.read().decode("utf-8", errors="replace")
+        try:
+            return exc.code, json.loads(body)
+        except ValueError:
+            return exc.code, {"error": body.strip() or exc.reason}
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import time
+    import urllib.error
+
+    document: dict = {}
+    if args.spec:
+        try:
+            with open(args.spec, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read spec {args.spec}: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(document, dict):
+            print(f"error: {args.spec} must hold a JSON object", file=sys.stderr)
+            return 2
+    overrides = {
+        "method": args.method,
+        "k": args.k,
+        "dataset": args.dataset,
+        "n_items": args.n_items,
+        "seed": args.seed,
+        "tenant": args.tenant,
+        "cost_sla": args.cost_sla,
+        "latency_sla": args.latency_sla,
+        "name": args.name,
+    }
+    document.update(
+        {field: value for field, value in overrides.items() if value is not None}
+    )
+    comparison = dict(document.get("comparison") or {})
+    if args.confidence is not None:
+        comparison["confidence"] = args.confidence
+    if args.budget is not None:
+        comparison["budget"] = args.budget
+    if comparison:
+        document["comparison"] = comparison
+
+    server = args.server.rstrip("/")
+    try:
+        status, response = _service_request("POST", f"{server}/submit", document)
+    except urllib.error.URLError as exc:
+        print(f"error: cannot reach {server}: {exc.reason}", file=sys.stderr)
+        return 1
+    if status >= 400:
+        print(f"error: submit rejected ({status}): "
+              f"{response.get('error', response)}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+    else:
+        print(f"submitted {response['id']}: {response['query']} "
+              f"(tenant {response['tenant']}, {response['status']})")
+    if not args.wait:
+        return 0
+
+    id = response["id"]
+    deadline = time.monotonic() + args.timeout
+    while True:
+        try:
+            status, result = _service_request("GET", f"{server}/result?id={id}")
+        except urllib.error.URLError as exc:
+            print(f"error: lost {server}: {exc.reason}", file=sys.stderr)
+            return 1
+        if status == 200:
+            break
+        if time.monotonic() > deadline:
+            print(f"error: query {id} still {result.get('status')!r} after "
+                  f"{args.timeout}s", file=sys.stderr)
+            return 1
+        time.sleep(args.poll)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0 if result.get("status") == "done" else 1
+    if result.get("status") == "done":
+        print(f"{id} done: top-{result['k']} = {result['topk']}")
+        print(f"TMC: {result['cost']:,} microtasks | "
+              f"latency: {result['rounds']:,} rounds")
+        return 0
+    print(f"{id} {result.get('status')}: {result.get('error', 'no outcome')}",
+          file=sys.stderr)
+    return 1
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     plan = plan_query(
         args.n_items,
@@ -653,6 +952,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -10,7 +10,6 @@ so that TMC and latency are measured uniformly across methods.
 from __future__ import annotations
 
 import os
-import warnings
 from collections.abc import Callable, Iterable
 from dataclasses import asdict
 
@@ -31,6 +30,11 @@ __all__ = ["CrowdSession"]
 StateProvider = Callable[[], dict]
 
 CompareListener = Callable[["CrowdSession", ComparisonRecord], None]
+
+#: A pre-charge hook: called with the microtask amount about to be charged.
+#: Raising aborts the spend (the query service uses this for cancellation,
+#: latency SLAs, and fair cross-tenant scheduling).
+SpendGate = Callable[[int], None]
 
 
 class CrowdSession:
@@ -79,6 +83,7 @@ class CrowdSession:
         self._checkpoint_path: str | os.PathLike | None = None
         self._checkpoint_every: int = 0
         self._last_checkpoint_rounds: int = 0
+        self._spend_gate: SpendGate | None = None
         self.restored_state: dict | None = None
 
     @staticmethod
@@ -200,6 +205,8 @@ class CrowdSession:
         _, comparisons, microtasks, cache_hits, ties, workload = self._instruments()[:6]
         self.cost.begin_comparison()
         record = self.comparator.compare(i, j, self.rng)
+        if self._spend_gate is not None:
+            self._spend_gate(record.cost)
         comparisons.inc()
         microtasks.inc(record.cost)
         if record.from_cache:
@@ -213,25 +220,6 @@ class CrowdSession:
         for listener in self._compare_listeners:
             listener(self, record)
         return record
-
-    def compare_group(
-        self, pairs: Iterable[tuple[int, int]]
-    ) -> list[ComparisonRecord]:
-        """Deprecated alias of :meth:`compare_many`.
-
-        .. deprecated::
-            ``compare`` / ``compare_group`` / ``compare_many`` collapsed
-            into one surface — :meth:`compare_many` is the canonical group
-            entry point (same semantics, plus ``charge_latency``).  This
-            alias emits a :class:`DeprecationWarning` and will be removed.
-        """
-        warnings.warn(
-            "CrowdSession.compare_group is deprecated; "
-            "use CrowdSession.compare_many",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.compare_many(pairs)
 
     def compare_many(
         self, pairs: Iterable[tuple[int, int]], *, charge_latency: bool = True
@@ -299,11 +287,39 @@ class CrowdSession:
         """``(n, mean, variance)`` of the cached bag for ``(i, j)``."""
         return self.cache.moments(i, j)
 
+    def use_cache(self, cache: JudgmentCache) -> None:
+        """Swap the session onto ``cache`` (rebuilding the comparator).
+
+        The query service uses this to point a fresh per-query session at
+        its tenant's shared cache namespace before the query runs.  Only
+        safe before (or between) comparisons — an in-flight racing pool
+        keeps views into the old cache's bags.
+        """
+        self.cache = cache
+        self.comparator = Comparator(self.oracle, self.config, cache)
+
     # ------------------------------------------------------------------
     # low-level accounting for racing pools and custom schedules
     # ------------------------------------------------------------------
+    def set_spend_gate(self, gate: SpendGate | None) -> None:
+        """Install (or clear) the pre-charge spend gate.
+
+        The gate is called with the microtask amount about to be charged,
+        *before* the cost ledger sees it — once per :meth:`compare` and
+        once per bulk charge (:meth:`charge_cost` / :meth:`charge_many`),
+        i.e. at least once per spending round.  Raising from the gate
+        aborts the spend and propagates to the algorithm; the query
+        service uses this for cancellation, latency SLA enforcement, and
+        deficit-round-robin microtask arbitration across tenants.  A
+        ``None`` gate (the default) keeps the hot path a single attribute
+        check.
+        """
+        self._spend_gate = gate
+
     def charge_cost(self, microtasks: int) -> None:
         """Charge raw microtask cost (racing pools buy in bulk)."""
+        if self._spend_gate is not None:
+            self._spend_gate(microtasks)
         self._instruments()[2].inc(microtasks)
         self.cost.charge(microtasks)
 
@@ -321,6 +337,8 @@ class CrowdSession:
         calls would — but racing pools make one accounting call per
         round instead of two.
         """
+        if self._spend_gate is not None:
+            self._spend_gate(microtasks)
         self._instruments()[2].inc(microtasks)
         self.cost.charge(microtasks)
         if rounds:
@@ -521,6 +539,9 @@ class CrowdSession:
         clone._checkpoint_path = None
         clone._checkpoint_every = 0
         clone._last_checkpoint_rounds = 0
+        # The fork spends against the shared ledgers, so it answers to the
+        # same gate (SPR's selection fork must honour the parent's SLAs).
+        clone._spend_gate = self._spend_gate
         clone.restored_state = None
         return clone
 

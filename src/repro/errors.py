@@ -37,3 +37,34 @@ class OracleError(CrowdTopkError):
 
 class AlgorithmError(CrowdTopkError):
     """Raised when a top-k algorithm is invoked with unusable inputs."""
+
+
+class ServiceError(CrowdTopkError):
+    """Base class for errors raised by the multi-tenant query service."""
+
+
+class AdmissionError(ServiceError):
+    """Raised when admission control rejects a submitted query.
+
+    Only fires under the ``"reject"`` admission policy: the aggregate
+    committed budget of running and queued queries plus the new query's
+    cost ceiling would exceed the service capacity.  Under ``"queue"``
+    the query waits instead.
+    """
+
+
+class QueryCancelledError(ServiceError):
+    """Raised inside a query's worker when :meth:`QueryHandle.cancel` fires.
+
+    The cancelled session is abandoned mid-round; its spending up to the
+    cancellation point remains on the ledgers and in the tenant cache.
+    """
+
+
+class SLAExceededError(ServiceError):
+    """Raised when a query crosses its declared latency SLA.
+
+    Cost SLAs are enforced by the session's hard cost ceiling and raise
+    :class:`BudgetExhaustedError`; this error is the latency-side
+    counterpart, raised at the next spend after ``latency_sla`` rounds.
+    """

@@ -1,0 +1,176 @@
+"""One front door for execution selection: :class:`ExecutionPolicy`.
+
+Three generations of knobs accumulated around "how should this work be
+executed":
+
+* ``ComparisonConfig.group_engine`` — how one parallel comparison *group*
+  advances (``"racing"`` lockstep kernel vs ``"sequential"`` per-pair
+  Python);
+* the ``engine=`` keyword on experiment entry points — how *independent
+  runs* are scheduled (``"pool"`` serial/process-pool vs ``"lattice"``
+  fused in-process racing), plus the ambient installers
+  :func:`repro.experiments.use_engine` / ``set_default_engine``;
+* the ``CROWD_TOPK_ENGINE`` environment variable — the CI-facing ambient
+  default behind both.
+
+``ExecutionPolicy`` collapses them into one declarative object with one
+documented resolution order.  For each field, the first hit wins:
+
+1. an explicit value on the policy itself (``ExecutionPolicy(...)``);
+2. the legacy spelling at the call site (``engine=`` keyword,
+   ``config.group_engine``) — kept working, now defined as a thin alias
+   for a policy with that single field set;
+3. the ambient installation (:func:`~repro.experiments.use_engine`,
+   :func:`~repro.experiments.use_jobs`);
+4. the ``CROWD_TOPK_ENGINE`` environment variable (run engine only);
+5. the library defaults: ``group_engine="racing"``, ``run_engine="pool"``,
+   ``n_jobs=1``.
+
+The legacy spellings are *deprecated aliases* in documentation only — they
+emit no runtime warnings (CI legs and downstream scripts drive whole
+suites through them) and keep their exact semantics.  New code should
+construct an :class:`ExecutionPolicy` and pass it where accepted (e.g.
+``QuerySpec.execution``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Literal
+
+from .config import ComparisonConfig
+from .errors import ConfigError
+
+__all__ = ["ExecutionPolicy", "DEFAULT_EXECUTION", "execution_policy_from_dict"]
+
+GroupEngineName = Literal["racing", "sequential"]
+RunEngineName = Literal["pool", "lattice"]
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Declarative execution selection with a single resolution order.
+
+    Every field defaults to ``None`` — "no opinion" — so an empty policy
+    defers entirely to the legacy spellings, the ambient installers, the
+    environment, and finally the library defaults (see the module
+    docstring for the full order).
+
+    Attributes
+    ----------
+    group_engine:
+        How a parallel comparison group advances: ``"racing"`` (one
+        vectorized lockstep kernel for the whole group) or
+        ``"sequential"`` (one comparison process per pair).  Resolved
+        against ``ComparisonConfig.group_engine`` by
+        :meth:`apply_to_config`.
+    run_engine:
+        How independent experiment runs are scheduled: ``"pool"``
+        (serial at one job, process pool above) or ``"lattice"`` (fused
+        in-process racing of all runs).
+    n_jobs:
+        Worker processes for the pool engine: ``1`` serial, ``0`` one
+        per CPU, ``None`` the ambient default installed by
+        :func:`repro.experiments.use_jobs`.
+    """
+
+    group_engine: GroupEngineName | None = None
+    run_engine: RunEngineName | None = None
+    n_jobs: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.group_engine not in (None, "racing", "sequential"):
+            raise ConfigError(
+                f"unknown group_engine {self.group_engine!r}"
+            )
+        if self.run_engine not in (None, "pool", "lattice"):
+            raise ConfigError(f"unknown run_engine {self.run_engine!r}")
+        if self.n_jobs is not None and (
+            not isinstance(self.n_jobs, int)
+            or isinstance(self.n_jobs, bool)
+            or self.n_jobs < 0
+        ):
+            raise ConfigError(
+                f"n_jobs must be a non-negative int or None, got {self.n_jobs!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolve_group_engine(
+        self, config: ComparisonConfig | None = None
+    ) -> GroupEngineName:
+        """The concrete group engine under the documented order.
+
+        An explicit policy field wins; otherwise the legacy spelling —
+        the config's ``group_engine`` (itself defaulting to
+        ``"racing"``) — decides.
+        """
+        if self.group_engine is not None:
+            return self.group_engine
+        if config is not None:
+            return config.group_engine
+        return "racing"
+
+    def resolve_run_engine(self, engine: str | None = None) -> RunEngineName:
+        """The concrete run engine under the documented order.
+
+        ``engine`` is the legacy call-site keyword; it loses to an
+        explicit policy field and beats the ambient installation /
+        environment variable (step 3/4), which
+        :func:`repro.experiments.resolve_engine` implements.
+        """
+        from .experiments.parallel import resolve_engine  # deferred: cycle
+
+        if self.run_engine is not None:
+            return resolve_engine(self.run_engine)
+        return resolve_engine(engine)
+
+    def resolve_jobs(self, n_jobs: int | None = None) -> int:
+        """The concrete worker count under the documented order.
+
+        ``n_jobs`` is the legacy call-site keyword; explicit policy field
+        first, then the keyword, then the ambient default
+        (:func:`repro.experiments.use_jobs`), with ``0`` expanding to one
+        worker per CPU.
+        """
+        from .experiments.parallel import resolve_jobs  # deferred: cycle
+
+        if self.n_jobs is not None:
+            return resolve_jobs(self.n_jobs)
+        return resolve_jobs(n_jobs)
+
+    def apply_to_config(self, config: ComparisonConfig) -> ComparisonConfig:
+        """``config`` with this policy's group engine applied (if any)."""
+        engine = self.resolve_group_engine(config)
+        if engine == config.group_engine:
+            return config
+        return config.with_(group_engine=engine)
+
+    # ------------------------------------------------------------------
+    # serialization (QuerySpec documents carry the policy)
+    # ------------------------------------------------------------------
+    def to_document(self) -> dict:
+        """A JSON-ready dict (inverse of :func:`execution_policy_from_dict`)."""
+        return {
+            "group_engine": self.group_engine,
+            "run_engine": self.run_engine,
+            "n_jobs": self.n_jobs,
+        }
+
+    def with_(self, **changes: object) -> "ExecutionPolicy":
+        """Return a copy with ``changes`` applied (validated)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+def execution_policy_from_dict(data: dict) -> ExecutionPolicy:
+    """Revive an :class:`ExecutionPolicy` from :meth:`ExecutionPolicy.to_document`."""
+    return ExecutionPolicy(
+        group_engine=data.get("group_engine"),
+        run_engine=data.get("run_engine"),
+        n_jobs=data.get("n_jobs"),
+    )
+
+
+#: The empty policy: every decision defers down the resolution order.
+DEFAULT_EXECUTION = ExecutionPolicy()

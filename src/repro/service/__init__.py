@@ -1,0 +1,45 @@
+"""Multi-tenant query service behind the unified :class:`QuerySpec` front door.
+
+The package splits along the service's moving parts:
+
+``spec``
+    :class:`QuerySpec` — the declarative, JSON-round-trippable query
+    description every door accepts.
+``runner``
+    The canonical spec → session → :data:`~repro.algorithms.ALGORITHMS`
+    dispatch (:func:`run_query`, :func:`execute_spec`), shared by the
+    service workers, the CLI, and direct library calls.
+``cache``
+    :class:`SharedJudgmentCache` — tenant-namespaced, LRU-bounded
+    cross-query judgment storage.
+``scheduler``
+    :class:`FairMarketplace` (deficit-round-robin microtask arbitration)
+    and :class:`AdmissionController` (committed-budget capacity checks).
+``service``
+    :class:`QueryService` / :class:`QueryHandle` — submission, worker
+    pool, SLAs, durability, recovery.
+
+See ``docs/service.md`` for the operator's view.
+"""
+
+from .cache import SharedJudgmentCache, TenantCache
+from .runner import execute_spec, resume_session, run_query, session_for
+from .scheduler import AdmissionController, FairMarketplace, MarketplaceLane
+from .service import QueryHandle, QueryService
+from .spec import QuerySpec, spec_from_document
+
+__all__ = [
+    "AdmissionController",
+    "FairMarketplace",
+    "MarketplaceLane",
+    "QueryHandle",
+    "QueryService",
+    "QuerySpec",
+    "SharedJudgmentCache",
+    "TenantCache",
+    "execute_spec",
+    "resume_session",
+    "run_query",
+    "session_for",
+    "spec_from_document",
+]

@@ -1,0 +1,369 @@
+"""The cross-query judgment cache: tenant namespaces, LRU bounds, counters.
+
+Judgments are *reusable* (§5.3) — and in a multi-tenant service they are
+reusable **across queries**: two queries from the same tenant over the
+same items share every purchased comparison.  :class:`SharedJudgmentCache`
+manages one :class:`TenantCache` per tenant namespace (tenants never see
+each other's judgments — they may be paying different crowds different
+rates, and cross-tenant reuse would leak information about another
+tenant's data), a global byte/entry-bounded LRU over all stored pairs,
+and per-tenant hit/miss/eviction counters on the service's
+:class:`~repro.telemetry.MetricsRegistry`.
+
+A :class:`TenantCache` *is a* :class:`~repro.core.cache.JudgmentCache`,
+so a per-query :class:`~repro.crowd.session.CrowdSession` plugs into it
+unchanged via :meth:`CrowdSession.use_cache`.  Differences from the
+single-query base class:
+
+* every public entry point takes the shared lock (queries from the same
+  tenant run concurrently on different worker threads);
+* :meth:`defer_rows` stays deferred — the base class drains the queue
+  before any read or direct write returns, and every entry point here
+  holds the shared lock, so a concurrent query drains (under the lock)
+  before it can observe a bag; LRU/byte accounting piggybacks on the
+  drain instead of running per round, keeping the service's per-round
+  bookkeeping tax identical to a standalone session's;
+* reads and writes refresh the pair's LRU recency, and writes trigger
+  eviction when the global bounds are exceeded.
+
+Eviction drops whole bags, never truncates them: any racing pool holding
+views into an evicted bag keeps valid arrays (numpy keeps the buffer
+alive), and the pair's next read is simply a miss — the evidence is
+repurchased, moments are recomputed from the fresh bag, and no running
+moment is ever corrupted.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.cache import JudgmentCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry import MetricsRegistry
+
+__all__ = ["SharedJudgmentCache", "TenantCache"]
+
+#: Accounting cost of one cached pair beyond its samples: the dict slots,
+#: the key tuple, and the bag header.  Keeps the byte bound meaningful for
+#: many tiny bags.
+_ENTRY_OVERHEAD_BYTES = 128
+
+
+class TenantCache(JudgmentCache):
+    """One tenant's namespace inside a :class:`SharedJudgmentCache`.
+
+    Construct through :meth:`SharedJudgmentCache.tenant`, never directly.
+    Thread-safe; safe to share between every concurrent query of the
+    tenant.
+    """
+
+    def __init__(self, shared: "SharedJudgmentCache", tenant: str) -> None:
+        super().__init__()
+        self._shared = shared
+        self._tenant = tenant
+        self._lock = shared._lock
+        registry = shared.registry
+        self._hit_counter = registry.counter(
+            "service_cache_hits_total", tenant=tenant
+        )
+        self._miss_counter = registry.counter(
+            "service_cache_misses_total", tenant=tenant
+        )
+        self._eviction_counter = registry.counter(
+            "service_cache_evictions_total", tenant=tenant
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: Canonical keys touched by deferred batches, accounted (LRU
+        #: recency + byte sizes) when the queue next drains.  Ordered —
+        #: recency must follow write order, as the eager path's would.
+        self._pending_keys: dict[tuple[int, int], None] = {}
+
+    # ------------------------------------------------------------------
+    # hit/miss accounting (a hit = a read that found a non-empty bag)
+    # ------------------------------------------------------------------
+    def _record_reads(self, hits: int, misses: int) -> None:
+        if hits:
+            self.hits += hits
+            self._hit_counter.add(hits)
+        if misses:
+            self.misses += misses
+            self._miss_counter.add(misses)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def count(self, i: int, j: int) -> int:
+        with self._lock:
+            return super().count(i, j)
+
+    def bag(self, i: int, j: int) -> np.ndarray:
+        with self._lock:
+            key, _ = self._key(i, j)
+            values = super().bag(i, j)
+            if values.size:
+                self._shared._touch(self._tenant, key)
+            self._record_reads(int(values.size > 0), int(values.size == 0))
+            return values
+
+    def bags_for(self, lefts: np.ndarray, rights: np.ndarray) -> list[np.ndarray]:
+        with self._lock:
+            out = super().bags_for(lefts, rights)
+            hits = 0
+            for (i, j), values in zip(zip(lefts.tolist(), rights.tolist()), out):
+                if values.size:
+                    hits += 1
+                    self._shared._touch(
+                        self._tenant, (i, j) if i < j else (j, i)
+                    )
+            self._record_reads(hits, len(out) - hits)
+            return out
+
+    def moments(self, i: int, j: int) -> tuple[int, float, float]:
+        with self._lock:
+            n, mean, var = super().moments(i, j)
+            if n:
+                key, _ = self._key(i, j)
+                self._shared._touch(self._tenant, key)
+            return n, mean, var
+
+    def pairs(self) -> list[tuple[int, int]]:
+        with self._lock:
+            return super().pairs()
+
+    @property
+    def total_samples(self) -> int:
+        with self._lock:
+            return JudgmentCache.total_samples.fget(self)  # type: ignore[attr-defined]
+
+    @property
+    def pair_count(self) -> int:
+        with self._lock:
+            return JudgmentCache.pair_count.fget(self)  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def append(self, i: int, j: int, values: np.ndarray) -> None:
+        with self._lock:
+            super().append(i, j, values)
+            key, _ = self._key(i, j)
+            self._shared._account(self, [key])
+
+    def append_rows(self, lefts, rights, values, counts) -> None:
+        with self._lock:
+            super().append_rows(lefts, rights, values, counts)
+            counts_list = (
+                counts.tolist() if isinstance(counts, np.ndarray) else list(counts)
+            )
+            touched = []
+            for i, j, width in zip(lefts.tolist(), rights.tolist(), counts_list):
+                if width:
+                    touched.append((i, j) if i < j else (j, i))
+            self._shared._account(self, touched)
+
+    def defer_rows(self, lefts, rights, values, counts) -> None:
+        """Queue a round's rows; account them when the queue drains.
+
+        The base class already guarantees no caller can observe an
+        un-drained queue (every read and direct-write entry point drains
+        first), and every entry point of this class holds the shared
+        lock — so deferral is just as safe with concurrent tenants as it
+        is single-owner, and the service keeps the deferred path's
+        per-round cost.  The touched keys are remembered so
+        :meth:`_drain` can refresh LRU recency and byte accounting for
+        exactly the pairs the batches wrote.
+        """
+        with self._lock:
+            super().defer_rows(lefts, rights, values, counts)
+            pending = self._pending_keys
+            counts_list = (
+                counts.tolist() if isinstance(counts, np.ndarray) else list(counts)
+            )
+            for i, j, width in zip(lefts.tolist(), rights.tolist(), counts_list):
+                if width:
+                    key = (i, j) if i < j else (j, i)
+                    pending.pop(key, None)  # re-touch moves to the hot end
+                    pending[key] = None
+
+    def _drain(self) -> None:
+        super()._drain()
+        if self._pending_keys:
+            keys = list(self._pending_keys)
+            self._pending_keys.clear()
+            self._shared._account(self, keys)
+
+    def settle(self) -> None:
+        with self._lock:
+            super().settle()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._pending_keys.clear()
+            super().clear()
+            self._shared._forget_tenant(self._tenant)
+
+    # internal: called by the shared manager under the lock
+    def _evict(self, key: tuple[int, int]) -> int:
+        """Drop ``key``'s bag; returns the sample count removed."""
+        bag = self._bags.pop(key, None)
+        if bag is None:
+            return 0
+        self._total -= bag.size
+        self.evictions += 1
+        self._eviction_counter.inc()
+        return bag.size
+
+
+class SharedJudgmentCache:
+    """Cross-query judgment storage for the service: one namespace per tenant.
+
+    Parameters
+    ----------
+    max_entries:
+        Global bound on cached pairs across all tenants (``None`` =
+        unbounded).  The least-recently-*used* pair is evicted first;
+        both reads and writes refresh recency.
+    max_bytes:
+        Global bound on the accounted size of stored judgments
+        (8 bytes per sample plus a fixed per-pair overhead).
+    registry:
+        The metrics registry the per-tenant counters and the global
+        entry/byte gauges report into; defaults to the process registry
+        at construction time.
+    """
+
+    def __init__(
+        self,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+        registry: "MetricsRegistry | None" = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if registry is None:
+            from ..telemetry import get_registry
+
+            registry = get_registry()
+        self.registry = registry
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._lock = threading.RLock()
+        self._tenants: dict[str, TenantCache] = {}
+        #: (tenant, canonical pair) -> accounted bytes, in recency order
+        #: (oldest first).
+        self._lru: OrderedDict[tuple[str, tuple[int, int]], int] = OrderedDict()
+        self._bytes = 0
+        self._entries_gauge = registry.gauge("service_cache_entries")
+        self._bytes_gauge = registry.gauge("service_cache_bytes")
+
+    # ------------------------------------------------------------------
+    def tenant(self, name: str) -> TenantCache:
+        """The (lazily created) cache namespace for tenant ``name``."""
+        if not name:
+            raise ValueError("tenant name must be non-empty")
+        with self._lock:
+            cache = self._tenants.get(name)
+            if cache is None:
+                cache = self._tenants[name] = TenantCache(self, name)
+            return cache
+
+    def tenants(self) -> list[str]:
+        """Names of every tenant namespace created so far."""
+        with self._lock:
+            return sorted(self._tenants)
+
+    @property
+    def entries(self) -> int:
+        """Cached pairs across all tenants."""
+        with self._lock:
+            return len(self._lru)
+
+    @property
+    def bytes(self) -> int:
+        """Accounted bytes across all tenants."""
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> dict:
+        """A JSON-ready snapshot for the observatory's service document."""
+        with self._lock:
+            return {
+                "entries": len(self._lru),
+                "bytes": self._bytes,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "tenants": {
+                    name: {
+                        "pairs": len(cache._bags),
+                        "hits": cache.hits,
+                        "misses": cache.misses,
+                        "evictions": cache.evictions,
+                    }
+                    for name, cache in sorted(self._tenants.items())
+                },
+            }
+
+    # ------------------------------------------------------------------
+    # internal accounting (callers hold the lock)
+    # ------------------------------------------------------------------
+    def _touch(self, tenant: str, key: tuple[int, int]) -> None:
+        entry = (tenant, key)
+        if entry in self._lru:
+            self._lru.move_to_end(entry)
+
+    def _account(
+        self, cache: TenantCache, keys: list[tuple[int, int]]
+    ) -> None:
+        """Refresh sizes/recency for freshly written ``keys``, then evict."""
+        lru = self._lru
+        for key in keys:
+            bag = cache._bags.get(key)
+            if bag is None:  # zero-width rows never created a bag
+                continue
+            entry = (cache._tenant, key)
+            new_bytes = 8 * bag.size + _ENTRY_OVERHEAD_BYTES
+            self._bytes += new_bytes - lru.get(entry, 0)
+            lru[entry] = new_bytes
+            lru.move_to_end(entry)
+        self._evict_over_bounds(protect=len(keys))
+
+    def _over_bounds(self) -> bool:
+        if self.max_entries is not None and len(self._lru) > self.max_entries:
+            return True
+        if self.max_bytes is not None and self._bytes > self.max_bytes:
+            return True
+        return False
+
+    def _evict_over_bounds(self, protect: int = 0) -> None:
+        """Pop least-recently-used pairs until back under both bounds.
+
+        ``protect`` entries at the hot end of the LRU (the ones the
+        current write just touched) are never evicted — a single
+        over-sized write may transiently exceed the bounds rather than
+        evict its own in-flight evidence.
+        """
+        lru = self._lru
+        while self._over_bounds() and len(lru) > protect:
+            (tenant, key), accounted = lru.popitem(last=False)
+            self._bytes -= accounted
+            cache = self._tenants.get(tenant)
+            if cache is not None:
+                cache._evict(key)
+        self._entries_gauge.set(len(lru))
+        self._bytes_gauge.set(self._bytes)
+
+    def _forget_tenant(self, tenant: str) -> None:
+        """Drop LRU accounting for ``tenant`` (its cache was cleared)."""
+        for entry in [e for e in self._lru if e[0] == tenant]:
+            self._bytes -= self._lru.pop(entry)
+        self._entries_gauge.set(len(self._lru))
+        self._bytes_gauge.set(self._bytes)

@@ -1,0 +1,347 @@
+"""Fair microtask arbitration and admission control for the service.
+
+:class:`FairMarketplace` models the one thing concurrent queries contend
+for — the crowd's round-by-round microtask throughput — as a small number
+of *slots* arbitrated by **deficit round-robin over per-round draw
+requests**.  Every query owns a :class:`MarketplaceLane`; the lane's
+:meth:`~MarketplaceLane.gate` is installed as its session's spend gate
+(:meth:`~repro.crowd.session.CrowdSession.set_spend_gate`), so before a
+round's microtasks are charged the query releases its slot and re-queues
+for the next one.  Between any two rounds of a saturating tenant, every
+other tenant's head request gets a chance to grant — the classic DRR
+no-starvation property, measured in microtasks rather than packets: each
+visit adds ``quantum`` microtasks to the tenant's deficit and grants its
+queued requests while the deficit covers them, so tenants with many
+cheap rounds and tenants with few expensive rounds converge to the same
+long-run microtask share.
+
+When a single query runs uncontended it takes the fast path — one lock
+acquisition, no queueing — which is what keeps per-query service
+overhead within a few percent of a standalone session.
+
+:class:`AdmissionController` is the front door's capacity check: the sum
+of the cost ceilings of running and queued queries (each query's
+committed budget) may not exceed the service capacity.  Over capacity,
+the ``"queue"`` policy parks new queries until capacity frees and the
+``"reject"`` policy raises :class:`~repro.errors.AdmissionError`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..errors import AdmissionError, QueryCancelledError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry import MetricsRegistry
+
+__all__ = ["FairMarketplace", "MarketplaceLane", "AdmissionController"]
+
+
+class _Request:
+    """One parked draw request: a lane asking to spend ``amount`` microtasks."""
+
+    __slots__ = ("lane", "amount", "granted", "cancelled")
+
+    def __init__(self, lane: "MarketplaceLane", amount: int) -> None:
+        self.lane = lane
+        self.amount = amount
+        self.granted = False
+        self.cancelled = False
+
+
+class MarketplaceLane:
+    """A query's handle on the marketplace: at most one slot at a time.
+
+    Construct through :meth:`FairMarketplace.open_lane`.  The lane's
+    :meth:`gate` matches the session spend-gate signature; install it
+    with :meth:`CrowdSession.set_spend_gate` and call :meth:`close` when
+    the query leaves the marketplace (always — a leaked slot starves the
+    fleet).
+    """
+
+    def __init__(self, market: "FairMarketplace", tenant: str) -> None:
+        self._market = market
+        self.tenant = tenant
+        self._holds_slot = False
+        self._abort_exc: BaseException | None = None
+        self._closed = False
+
+    def gate(self, microtasks: int) -> None:
+        """Block until the marketplace grants this round's ``microtasks``."""
+        self._market._gate(self, int(microtasks))
+
+    def abort(self, exc: BaseException | None = None) -> None:
+        """Make every current and future :meth:`gate` call raise ``exc``.
+
+        Used by cancellation: a lane parked in the wait queue wakes up
+        and raises instead of spending.  Defaults to
+        :class:`~repro.errors.QueryCancelledError`.
+        """
+        if exc is None:
+            exc = QueryCancelledError(f"query lane for {self.tenant!r} aborted")
+        self._market._abort(self, exc)
+
+    def close(self) -> None:
+        """Release the held slot (idempotent)."""
+        self._market._close(self)
+
+
+class FairMarketplace:
+    """Deficit-round-robin arbitration of crowd throughput across tenants.
+
+    Parameters
+    ----------
+    slots:
+        Rounds that may be in flight simultaneously — the crowd
+        platform's modeled round throughput.  Must be >= 1; any value
+        keeps the marketplace deadlock-free (deficits accumulate until
+        the head request grants).
+    quantum:
+        Microtasks added to a tenant's deficit per DRR visit.  Smaller
+        quanta interleave tenants more finely; the default of 500 is a
+        few racing rounds' worth.
+    registry:
+        Metrics registry for the per-tenant grant/wait counters
+        (defaults to the process registry at construction).
+    """
+
+    def __init__(
+        self,
+        slots: int = 4,
+        quantum: int = 500,
+        registry: "MetricsRegistry | None" = None,
+    ) -> None:
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        if quantum < 1:
+            raise ValueError(f"quantum must be >= 1, got {quantum}")
+        if registry is None:
+            from ..telemetry import get_registry
+
+            registry = get_registry()
+        self.slots = slots
+        self.quantum = quantum
+        self._registry = registry
+        self._cond = threading.Condition()
+        self._free = slots
+        self._queues: dict[str, deque[_Request]] = {}
+        self._deficit: dict[str, float] = {}
+        self._order: list[str] = []  # tenants with parked requests, RR order
+        self._rr_index = 0
+        self._granted_counters: dict[str, object] = {}
+        self._wait_counters: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def open_lane(self, tenant: str) -> MarketplaceLane:
+        """A fresh lane for one query of ``tenant``."""
+        if not tenant:
+            raise ValueError("tenant name must be non-empty")
+        return MarketplaceLane(self, tenant)
+
+    def _granted(self, tenant: str, amount: int) -> None:
+        counter = self._granted_counters.get(tenant)
+        if counter is None:
+            counter = self._granted_counters[tenant] = self._registry.counter(
+                "service_granted_microtasks_total", tenant=tenant
+            )
+        counter.add(amount)
+
+    def _waited(self, tenant: str) -> None:
+        counter = self._wait_counters.get(tenant)
+        if counter is None:
+            counter = self._wait_counters[tenant] = self._registry.counter(
+                "service_grant_waits_total", tenant=tenant
+            )
+        counter.inc()
+
+    # ------------------------------------------------------------------
+    def _gate(self, lane: MarketplaceLane, amount: int) -> None:
+        with self._cond:
+            if lane._abort_exc is not None:
+                raise lane._abort_exc
+            self._release_locked(lane)
+            queue = self._queues.get(lane.tenant)
+            if self._free > 0 and not self._order and not queue:
+                # Uncontended fast path: grant in place.
+                self._free -= 1
+                lane._holds_slot = True
+                self._granted(lane.tenant, amount)
+                return
+            request = _Request(lane, amount)
+            if queue is None:
+                queue = self._queues[lane.tenant] = deque()
+            if not queue and lane.tenant not in self._order:
+                self._order.append(lane.tenant)
+            queue.append(request)
+            self._waited(lane.tenant)
+            self._pump_locked()
+            while not request.granted and lane._abort_exc is None:
+                self._cond.wait(timeout=1.0)
+            if request.granted:
+                return
+            # Aborted while parked: withdraw and hand the turn onward.
+            request.cancelled = True
+            self._pump_locked()
+            raise lane._abort_exc
+
+    def _pump_locked(self) -> None:
+        """Grant parked requests by DRR while free slots remain."""
+        granted_any = False
+        while self._free > 0 and self._order:
+            pos = self._rr_index % len(self._order)
+            tenant = self._order[pos]
+            queue = self._queues[tenant]
+            while queue and queue[0].cancelled:
+                queue.popleft()
+            if queue:
+                self._deficit[tenant] = self._deficit.get(tenant, 0.0) + self.quantum
+            while queue and self._free > 0:
+                head = queue[0]
+                if head.cancelled:
+                    queue.popleft()
+                    continue
+                if self._deficit[tenant] < head.amount:
+                    break
+                queue.popleft()
+                self._deficit[tenant] -= head.amount
+                self._free -= 1
+                head.lane._holds_slot = True
+                head.granted = True
+                self._granted(tenant, head.amount)
+                granted_any = True
+            if queue:
+                self._rr_index = (pos + 1) % len(self._order)
+            else:
+                # Empty queue: retire the tenant and reset its deficit so
+                # idle time never banks future priority.
+                self._deficit.pop(tenant, None)
+                self._order.pop(pos)
+                if self._order:
+                    self._rr_index = pos % len(self._order)
+                else:
+                    self._rr_index = 0
+        if granted_any:
+            self._cond.notify_all()
+
+    def _release_locked(self, lane: MarketplaceLane) -> None:
+        if lane._holds_slot:
+            lane._holds_slot = False
+            self._free += 1
+
+    def _abort(self, lane: MarketplaceLane, exc: BaseException) -> None:
+        with self._cond:
+            lane._abort_exc = exc
+            self._cond.notify_all()
+
+    def _close(self, lane: MarketplaceLane) -> None:
+        with self._cond:
+            if lane._closed:
+                return
+            lane._closed = True
+            self._release_locked(lane)
+            self._pump_locked()
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A JSON-ready view for the observatory's service document."""
+        with self._cond:
+            return {
+                "slots": self.slots,
+                "free_slots": self._free,
+                "quantum": self.quantum,
+                "waiting": {
+                    tenant: len(queue)
+                    for tenant, queue in sorted(self._queues.items())
+                    if queue
+                },
+            }
+
+
+class AdmissionController:
+    """Committed-budget bookkeeping behind :meth:`QueryService.submit`.
+
+    ``capacity`` bounds the sum of cost ceilings of admitted-but-
+    unfinished queries; ``None`` admits everything.  ``policy`` selects
+    what happens when a submission would exceed it: ``"queue"`` parks the
+    query until capacity frees, ``"reject"`` raises
+    :class:`~repro.errors.AdmissionError`.
+    """
+
+    def __init__(
+        self,
+        capacity: int | None = None,
+        policy: str = "queue",
+        registry: "MetricsRegistry | None" = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if policy not in ("queue", "reject"):
+            raise ValueError(
+                f"admission policy must be 'queue' or 'reject', got {policy!r}"
+            )
+        if registry is None:
+            from ..telemetry import get_registry
+
+            registry = get_registry()
+        self.capacity = capacity
+        self.policy = policy
+        self._lock = threading.Lock()
+        self._committed = 0
+        self._decisions = {
+            decision: registry.counter(
+                "service_admissions_total", decision=decision
+            )
+            for decision in ("admitted", "queued", "rejected")
+        }
+
+    @property
+    def committed(self) -> int:
+        """Budget committed to admitted-but-unfinished queries."""
+        with self._lock:
+            return self._committed
+
+    def try_admit(self, commitment: int) -> bool:
+        """Commit ``commitment`` if capacity allows; the admission decision.
+
+        Returns ``True`` (admitted) or ``False`` (over capacity, caller
+        queues).  Under the ``"reject"`` policy an over-capacity
+        submission raises :class:`~repro.errors.AdmissionError` instead
+        of returning ``False``.
+        """
+        with self._lock:
+            if (
+                self.capacity is None
+                or self._committed + commitment <= self.capacity
+            ):
+                self._committed += commitment
+                self._decisions["admitted"].inc()
+                return True
+            if self.policy == "reject":
+                self._decisions["rejected"].inc()
+                raise AdmissionError(
+                    f"committed budget {self._committed} + {commitment} "
+                    f"exceeds service capacity {self.capacity}"
+                )
+            self._decisions["queued"].inc()
+            return False
+
+    def readmit(self, commitment: int) -> bool:
+        """Like :meth:`try_admit` for a previously queued query (never raises)."""
+        with self._lock:
+            if (
+                self.capacity is None
+                or self._committed + commitment <= self.capacity
+            ):
+                self._committed += commitment
+                self._decisions["admitted"].inc()
+                return True
+            return False
+
+    def release(self, commitment: int) -> None:
+        """Return a finished query's commitment to the pool."""
+        with self._lock:
+            self._committed -= commitment

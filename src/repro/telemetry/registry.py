@@ -101,6 +101,18 @@ METRIC_HELP: dict[str, str] = {
     "experiment_run_cost": "Total monetary cost per experiment run.",
     "observatory_requests_total": "HTTP requests served by the observatory.",
     "flight_recorder_dumps_total": "Flight-recorder dumps written to disk.",
+    "service_queries_total": "Service queries finished, by tenant and terminal status.",
+    "service_active_queries": "Service queries currently running.",
+    "service_admissions_total": "Admission-control decisions, by outcome.",
+    "service_sla_breaches_total": "Queries terminated by an SLA, by kind.",
+    "service_recovered_queries_total": "Queries resumed from checkpoints after recovery.",
+    "service_granted_microtasks_total": "Microtasks granted by the marketplace, by tenant.",
+    "service_grant_waits_total": "Draw requests parked behind the marketplace, by tenant.",
+    "service_cache_hits_total": "Shared-cache reads that found judgments, by tenant.",
+    "service_cache_misses_total": "Shared-cache reads that found nothing, by tenant.",
+    "service_cache_evictions_total": "Pairs evicted from the shared cache, by tenant.",
+    "service_cache_entries": "Pairs held by the shared cross-query cache.",
+    "service_cache_bytes": "Accounted bytes held by the shared cross-query cache.",
 }
 
 

@@ -16,9 +16,17 @@ library already produces and serves four read-only endpoints:
 ``/events``
     The flight recorder's tail (``?n=100`` bounds the window).
 
-Everything is read-only and lock-guarded, so continuous scraping cannot
-perturb a running query: same top-k, same cost, same RNG state as an
-unserved run — the serving-invariance integration test pins this.
+Everything above is read-only and lock-guarded, so continuous scraping
+cannot perturb a running query: same top-k, same cost, same RNG state as
+an unserved run — the serving-invariance integration test pins this.
+
+With a :class:`~repro.service.QueryService` attached (``service=``), the
+observatory becomes the service's network front door as well:
+``/queries`` switches to the service's tenant-aware document (per-query
+tenant, SLAs, status, live progress, plus cache/marketplace/admission
+totals), and three service routes open up — ``POST /submit`` (a
+:class:`~repro.service.QuerySpec` document in the body, the new query id
+in the response), ``POST /cancel?id=...``, and ``GET /result?id=...``.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from .sinks import _jsonable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..crowd.session import CrowdSession
+    from ..service import QueryService
     from .recorder import FlightRecorder
     from .registry import MetricsRegistry
 
@@ -119,7 +128,7 @@ def get_query_board() -> QueryBoard:
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Routes the four observatory endpoints; everything else is 404."""
+    """Routes the observatory endpoints; everything else is 404."""
 
     server: "_ObservatoryHTTPServer"
     protocol_version = "HTTP/1.1"
@@ -135,7 +144,7 @@ class _Handler(BaseHTTPRequestHandler):
         elif route == "/healthz":
             self._send_json(200, observatory.health())
         elif route == "/queries":
-            self._send_json(200, observatory.queries.progress())
+            self._send_json(200, observatory.queries_payload())
         elif route == "/events":
             params = parse_qs(split.query)
             try:
@@ -144,11 +153,114 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(400, {"error": "n must be an integer"})
                 return
             self._send_json(200, observatory.events(n))
+        elif route == "/result":
+            self._handle_result(split.query)
         else:
             self._send_json(404, {
                 "error": f"no route {route!r}",
-                "routes": ["/metrics", "/healthz", "/queries", "/events"],
+                "routes": observatory.routes(),
             })
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        split = urlsplit(self.path)
+        route = split.path.rstrip("/") or "/"
+        observatory = self.server.observatory
+        observatory._count_request(route)
+        if observatory.service is None:
+            self._send_json(404, {
+                "error": "no query service attached",
+                "routes": observatory.routes(),
+            })
+            return
+        if route == "/submit":
+            self._handle_submit()
+        elif route == "/cancel":
+            self._handle_cancel(split.query)
+        else:
+            self._send_json(404, {
+                "error": f"no POST route {route!r}",
+                "routes": ["/submit", "/cancel"],
+            })
+
+    # ------------------------------------------------------------------
+    # service routes
+    # ------------------------------------------------------------------
+    def _read_body(self) -> dict | None:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = 0
+        if length <= 0:
+            return {}
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self._send_json(400, {"error": "body must be a JSON object"})
+            return None
+        if not isinstance(payload, dict):
+            self._send_json(400, {"error": "body must be a JSON object"})
+            return None
+        return payload
+
+    def _handle_submit(self) -> None:
+        from ..errors import AdmissionError, ConfigError, ServiceError
+        from ..service import spec_from_document
+
+        payload = self._read_body()
+        if payload is None:
+            return
+        try:
+            spec = spec_from_document(payload)
+            handle = self.server.observatory.service.submit(spec)
+        except (ConfigError, ValueError, TypeError) as exc:
+            self._send_json(400, {"error": str(exc)})
+        except AdmissionError as exc:
+            self._send_json(429, {"error": str(exc)})
+        except ServiceError as exc:
+            self._send_json(409, {"error": str(exc)})
+        else:
+            self._send_json(202, {
+                "id": handle.id,
+                "query": spec.display_name,
+                "tenant": spec.tenant,
+                "status": handle.status(),
+            })
+
+    def _lookup_handle(self, query: str):
+        params = parse_qs(query)
+        id = params.get("id", [None])[0]
+        if not id:
+            self._send_json(400, {"error": "missing ?id=<query id>"})
+            return None
+        try:
+            return self.server.observatory.service.handle(id)
+        except KeyError:
+            self._send_json(404, {"error": f"no query {id!r}"})
+            return None
+
+    def _handle_cancel(self, query: str) -> None:
+        handle = self._lookup_handle(query)
+        if handle is None:
+            return
+        cancelled = handle.cancel()
+        self._send_json(200, {
+            "id": handle.id,
+            "cancelled": cancelled,
+            "status": handle.status(),
+        })
+
+    def _handle_result(self, query: str) -> None:
+        observatory = self.server.observatory
+        if observatory.service is None:
+            self._send_json(404, {
+                "error": "no query service attached",
+                "routes": observatory.routes(),
+            })
+            return
+        handle = self._lookup_handle(query)
+        if handle is None:
+            return
+        self._send_json(200 if handle.done else 202, handle.to_document())
 
     def _send_json(self, status: int, payload: dict) -> None:
         self._send(status, json.dumps(payload, default=_jsonable) + "\n",
@@ -187,6 +299,10 @@ class ObservatoryServer:
     recorder:
         The :class:`~repro.telemetry.recorder.FlightRecorder` behind
         ``/events`` (absent → the endpoint reports an empty tail).
+    service:
+        An attached :class:`~repro.service.QueryService`.  Switches
+        ``/queries`` to the service's tenant-aware document and opens the
+        ``POST /submit`` / ``POST /cancel`` / ``GET /result`` routes.
     host, port:
         Bind address; port 0 asks the kernel for an ephemeral port.
 
@@ -199,12 +315,16 @@ class ObservatoryServer:
         registry: "MetricsRegistry | None" = None,
         queries: QueryBoard | None = None,
         recorder: "FlightRecorder | None" = None,
+        service: "QueryService | None" = None,
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
         self._registry = registry
-        self.queries = queries if queries is not None else QueryBoard()
+        if queries is None:
+            queries = service.board if service is not None else QueryBoard()
+        self.queries = queries
         self.recorder = recorder
+        self.service = service
         self.host = host
         self.requested_port = port
         self._httpd: _ObservatoryHTTPServer | None = None
@@ -293,6 +413,19 @@ class ObservatoryServer:
                 self.recorder.events_seen if self.recorder is not None else 0
             ),
         }
+
+    def routes(self) -> list[str]:
+        """Every route this observatory serves (service routes when attached)."""
+        routes = ["/metrics", "/healthz", "/queries", "/events"]
+        if self.service is not None:
+            routes += ["/submit", "/cancel", "/result"]
+        return routes
+
+    def queries_payload(self) -> dict:
+        """The ``/queries`` document: service-aware when a service is attached."""
+        if self.service is not None:
+            return self.service.queries_document()
+        return self.queries.progress()
 
     def events(self, n: int | None = None) -> dict:
         if self.recorder is None:

@@ -1,0 +1,130 @@
+"""ExecutionPolicy: one documented resolution order over three legacy knobs."""
+
+import os
+import warnings
+
+import pytest
+
+from repro.config import ComparisonConfig
+from repro.errors import ConfigError
+from repro.execution import (
+    DEFAULT_EXECUTION,
+    ExecutionPolicy,
+    execution_policy_from_dict,
+)
+from repro.experiments.parallel import ENGINE_ENV, use_engine, use_jobs
+
+
+class TestGroupEngineResolution:
+    def test_library_default_is_racing(self):
+        assert DEFAULT_EXECUTION.resolve_group_engine() == "racing"
+
+    def test_legacy_config_spelling_decides_when_policy_silent(self):
+        config = ComparisonConfig(group_engine="sequential")
+        assert DEFAULT_EXECUTION.resolve_group_engine(config) == "sequential"
+
+    def test_explicit_policy_beats_the_config(self):
+        policy = ExecutionPolicy(group_engine="racing")
+        config = ComparisonConfig(group_engine="sequential")
+        assert policy.resolve_group_engine(config) == "racing"
+
+    def test_apply_to_config_rewrites_only_on_disagreement(self):
+        config = ComparisonConfig(group_engine="racing")
+        assert DEFAULT_EXECUTION.apply_to_config(config) is config
+        rewritten = ExecutionPolicy(group_engine="sequential").apply_to_config(
+            config
+        )
+        assert rewritten.group_engine == "sequential"
+        assert rewritten.confidence == config.confidence
+
+
+class TestRunEngineResolution:
+    def test_library_default_is_pool(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        assert DEFAULT_EXECUTION.resolve_run_engine() == "pool"
+
+    def test_legacy_keyword_decides_when_policy_silent(self):
+        assert DEFAULT_EXECUTION.resolve_run_engine("lattice") == "lattice"
+
+    def test_explicit_policy_beats_the_keyword(self):
+        policy = ExecutionPolicy(run_engine="lattice")
+        assert policy.resolve_run_engine("pool") == "lattice"
+
+    def test_keyword_beats_the_ambient_installation(self):
+        with use_engine("lattice"):
+            assert DEFAULT_EXECUTION.resolve_run_engine("pool") == "pool"
+
+    def test_ambient_installation_beats_the_environment(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "pool")
+        with use_engine("lattice"):
+            assert DEFAULT_EXECUTION.resolve_run_engine() == "lattice"
+
+    def test_environment_decides_last(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "lattice")
+        assert DEFAULT_EXECUTION.resolve_run_engine() == "lattice"
+
+
+class TestJobsResolution:
+    def test_library_default_is_serial(self):
+        assert DEFAULT_EXECUTION.resolve_jobs() == 1
+
+    def test_explicit_policy_beats_the_keyword(self):
+        assert ExecutionPolicy(n_jobs=3).resolve_jobs(2) == 3
+
+    def test_keyword_beats_the_ambient_installation(self):
+        with use_jobs(4):
+            assert DEFAULT_EXECUTION.resolve_jobs(2) == 2
+
+    def test_ambient_installation_decides_when_both_silent(self):
+        with use_jobs(4):
+            assert DEFAULT_EXECUTION.resolve_jobs() == 4
+
+    def test_zero_expands_to_cpu_count(self):
+        expanded = ExecutionPolicy(n_jobs=0).resolve_jobs()
+        assert expanded >= 1
+        assert expanded == (os.cpu_count() or 1)
+
+
+class TestValidationAndSerialization:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"group_engine": "warp"},
+            {"run_engine": "thread"},
+            {"n_jobs": -1},
+            {"n_jobs": True},
+            {"n_jobs": 1.5},
+        ],
+    )
+    def test_bad_fields_raise_config_error(self, kwargs):
+        with pytest.raises(ConfigError):
+            ExecutionPolicy(**kwargs)
+
+    def test_document_round_trip(self):
+        policy = ExecutionPolicy(
+            group_engine="sequential", run_engine="lattice", n_jobs=2
+        )
+        assert execution_policy_from_dict(policy.to_document()) == policy
+
+    def test_empty_document_is_the_default(self):
+        assert execution_policy_from_dict({}) == DEFAULT_EXECUTION
+
+    def test_with_validates(self):
+        assert DEFAULT_EXECUTION.with_(n_jobs=2).n_jobs == 2
+        with pytest.raises(ConfigError):
+            DEFAULT_EXECUTION.with_(run_engine="warp")
+
+
+class TestLegacySpellingsStayWarningFree:
+    def test_no_deprecation_warnings_from_legacy_knobs(self, monkeypatch):
+        # The legacy spellings are deprecated in documentation only: CI
+        # legs drive whole suites through them, so they must stay silent.
+        monkeypatch.setenv(ENGINE_ENV, "lattice")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            config = ComparisonConfig(group_engine="sequential")
+            DEFAULT_EXECUTION.apply_to_config(config)
+            DEFAULT_EXECUTION.resolve_run_engine("pool")
+            with use_engine("pool"), use_jobs(2):
+                DEFAULT_EXECUTION.resolve_run_engine()
+                DEFAULT_EXECUTION.resolve_jobs()

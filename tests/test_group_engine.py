@@ -113,12 +113,11 @@ class TestSequentialEngine:
         assert grouped.spent() == manual.spent()
         assert grouped.cost.comparisons == manual.cost.comparisons
 
-    def test_compare_group_alias_deprecated_but_equivalent(self):
-        alias = make_session("sequential")
-        direct = make_session("sequential")
-        with pytest.warns(DeprecationWarning, match="compare_many"):
-            via_alias = alias.compare_group(GROUP)
-        assert_records_equal(via_alias, direct.compare_many(GROUP))
+    def test_compare_group_alias_removed(self):
+        # The deprecated alias warned for one release and is now gone:
+        # compare / compare_many are the whole comparison surface.
+        session = make_session("sequential")
+        assert not hasattr(session, "compare_group")
 
 
 class TestEngineParity:

@@ -15,6 +15,7 @@ import repro
 #: update this list *and* document the newcomer.
 PUBLIC_API = [
     "ALGORITHMS",
+    "AdmissionError",
     "AlgorithmError",
     "BDPRanker",
     "BinaryOracle",
@@ -27,8 +28,10 @@ PUBLIC_API = [
     "CrowdSession",
     "CrowdTopkError",
     "DATASET_NAMES",
+    "DEFAULT_EXECUTION",
     "Dataset",
     "DatasetError",
+    "ExecutionPolicy",
     "ExplainReport",
     "FaultInjector",
     "FaultPolicy",
@@ -47,16 +50,23 @@ PUBLIC_API = [
     "PACTester",
     "PartitionResult",
     "QueryBoard",
+    "QueryCancelledError",
+    "QueryHandle",
     "QueryPlan",
+    "QueryService",
+    "QuerySpec",
     "QueryTrace",
     "RacingLattice",
     "RacingPool",
     "RecordDatabaseOracle",
     "ResiliencePolicy",
     "RetryPolicy",
+    "SLAExceededError",
     "SPRConfig",
     "SPRResult",
     "SelectionResult",
+    "ServiceError",
+    "SharedJudgmentCache",
     "TopKOutcome",
     "UserTableOracle",
     "__version__",
@@ -65,6 +75,7 @@ PUBLIC_API = [
     "cache_to_json",
     "crowdbt_topk",
     "default_resilience",
+    "execution_policy_from_dict",
     "explain_query",
     "get_registry",
     "heapsort_topk",
@@ -89,10 +100,12 @@ PUBLIC_API = [
     "run_guarantee_suite",
     "run_invariant_suite",
     "run_lattice",
+    "run_query",
     "save_cache",
     "save_checkpoint",
     "select_reference",
     "set_registry",
+    "spec_from_document",
     "spr_topk",
     "stopping_from_document",
     "top_k_precision",
@@ -156,6 +169,25 @@ class TestPublicApiSnapshot:
             "run_golden_suite",
             "run_guarantee_suite",
             "run_invariant_suite",
+        ):
+            assert name in repro.__all__, name
+
+    def test_service_surface_is_public(self):
+        # The multi-tenant service front door: the declarative spec, the
+        # service and its handles, the shared cache, the one-shot runner,
+        # the execution policy, and the service error family.
+        for name in (
+            "QueryService",
+            "QuerySpec",
+            "QueryHandle",
+            "SharedJudgmentCache",
+            "run_query",
+            "spec_from_document",
+            "ExecutionPolicy",
+            "ServiceError",
+            "AdmissionError",
+            "QueryCancelledError",
+            "SLAExceededError",
         ):
             assert name in repro.__all__, name
 
@@ -225,6 +257,7 @@ class TestSubpackageExports:
             "repro.stats",
             "repro.experiments",
             "repro.extensions",
+            "repro.service",
         ],
     )
     def test_subpackage_all_resolves(self, module_name):

@@ -1,0 +1,172 @@
+"""The shared cross-query cache: warm-hit identity, LRU eviction integrity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.persistence import cache_from_json, cache_to_json
+from repro.service import QueryService, QuerySpec, SharedJudgmentCache, session_for
+from repro.service.runner import execute_spec
+from repro.telemetry import MetricsRegistry
+
+SPEC_A = QuerySpec(
+    method="spr", k=3, dataset="synthetic", n_items=12, seed=3, tenant="acme"
+)
+SPEC_B = SPEC_A.with_(seed=9)  # same working set, different draws
+
+
+def shared(registry=None, **kwargs) -> SharedJudgmentCache:
+    return SharedJudgmentCache(
+        registry=registry or MetricsRegistry(), **kwargs
+    )
+
+
+class TestTenantNamespaces:
+    def test_tenants_never_see_each_other(self):
+        cache = shared()
+        cache.tenant("a").append(1, 2, np.array([1.0, -1.0]))
+        assert cache.tenant("b").count(1, 2) == 0
+        assert cache.tenant("a").count(1, 2) == 2
+        assert cache.tenants() == ["a", "b"]
+
+    def test_tenant_handle_is_stable(self):
+        cache = shared()
+        assert cache.tenant("a") is cache.tenant("a")
+
+    def test_counters_attribute_to_the_reading_tenant(self):
+        registry = MetricsRegistry()
+        cache = shared(registry)
+        cache.tenant("a").append(1, 2, np.array([1.0]))
+        cache.tenant("a").bag(1, 2)   # hit
+        cache.tenant("b").bag(1, 2)   # miss (different namespace)
+        assert registry.counter_total("service_cache_hits_total") == 1
+        assert registry.counter_total("service_cache_misses_total") == 1
+        stats = cache.stats()["tenants"]
+        assert stats["a"]["hits"] == 1
+        assert stats["b"]["misses"] == 1
+
+
+class TestWarmHitIdentity:
+    """A warm service query == a standalone run with the same pre-seeded cache."""
+
+    @pytest.mark.faultfree  # pins exact verdicts of seeded traces
+    def test_cross_query_hits_are_bit_identical_to_a_preseeded_cold_run(self):
+        # 1. Cold standalone run of A: its judgments are the future cache.
+        registry = MetricsRegistry()
+        session_a, items_a = session_for(SPEC_A, registry)
+        execute_spec(session_a, SPEC_A, items_a)
+        judgments = cache_to_json(session_a.cache)
+
+        # 2. Standalone run of B over a *copy* of A's judgments: the
+        #    expected warm verdicts.
+        session_b, items_b = session_for(SPEC_B, registry)
+        session_b.use_cache(cache_from_json(judgments))
+        expected = execute_spec(session_b, SPEC_B, items_b)
+        expected_purchases = session_b.total_cost
+
+        # 3. The service runs A then B on the same tenant (one worker =
+        #    strictly sequential), so B starts on exactly A's judgments.
+        with QueryService(max_workers=1, registry=MetricsRegistry()) as service:
+            service.submit(SPEC_A).result(timeout=120)
+            handle = service.submit(SPEC_B)
+            warm = handle.result(timeout=120)
+
+        assert list(warm.topk) == list(expected.topk)
+        assert warm.rounds == expected.rounds
+        assert warm.cost == expected_purchases
+        hits = service.cache.stats()["tenants"]["acme"]["hits"]
+        assert hits > 0
+
+    @pytest.mark.faultfree
+    def test_identical_warm_query_repurchases_nothing(self):
+        with QueryService(max_workers=1, registry=MetricsRegistry()) as service:
+            first = service.submit(SPEC_A).result(timeout=120)
+            again = service.submit(SPEC_A).result(timeout=120)
+        assert list(again.topk) == list(first.topk)
+        assert again.cost == 0  # every comparison answered from the cache
+
+
+class TestLruEviction:
+    def _fill(self, cache, tenant, pairs, width=4):
+        namespace = cache.tenant(tenant)
+        for n in range(pairs):
+            namespace.append(n, n + 1000, np.ones(width))
+        return namespace
+
+    def test_entry_bound_evicts_least_recently_used(self):
+        cache = shared(max_entries=3)
+        namespace = self._fill(cache, "a", 3)
+        namespace.bag(0, 1000)  # refresh pair 0: pair 1 is now the LRU
+        namespace.append(50, 1050, np.ones(4))
+        assert cache.entries == 3
+        assert namespace.count(1, 1001) == 0   # evicted
+        assert namespace.count(0, 1000) == 4   # refreshed, retained
+        assert cache.stats()["tenants"]["a"]["evictions"] == 1
+
+    def test_byte_bound_holds(self):
+        cache = shared(max_bytes=2_000)
+        self._fill(cache, "a", 40, width=8)
+        assert cache.bytes <= 2_000
+        assert cache.entries < 40
+
+    def test_eviction_crosses_tenants_by_recency(self):
+        cache = shared(max_entries=2)
+        self._fill(cache, "old", 2)
+        self._fill(cache, "new", 2)
+        assert cache.entries == 2
+        assert cache.tenant("old").pair_count == 0
+        assert cache.tenant("new").pair_count == 2
+
+    def test_eviction_never_corrupts_in_flight_moments(self):
+        """Dropping a bag must neither tear surviving moments nor
+        invalidate numpy views handed out before the eviction."""
+        cache = shared(max_entries=4)
+        namespace = self._fill(cache, "a", 4, width=6)
+        held_views = {
+            (n, n + 1000): namespace.bag(n, n + 1000) for n in range(4)
+        }
+        frozen = {key: view.copy() for key, view in held_views.items()}
+        # Blow well past the bound; everything originally cached evicts.
+        self._fill(cache, "a", 12)
+        for key, view in held_views.items():
+            np.testing.assert_array_equal(view, frozen[key])
+        # Surviving bags' running moments agree with a recomputation from
+        # the raw judgments, and the totals reconcile.
+        total = 0
+        for i, j in namespace.pairs():
+            values = namespace.bag(i, j)
+            n, mean, var = namespace.moments(i, j)
+            assert n == values.size
+            assert mean == pytest.approx(float(values.mean()))
+            if n > 1:
+                assert var == pytest.approx(float(values.var(ddof=1)))
+            total += values.size
+        assert namespace.total_samples == total
+        assert cache.entries <= 4
+
+    def test_bounded_service_still_answers_correctly(self):
+        # With a pathologically small cache the service repurchases
+        # evidence instead of corrupting it: queries complete and respect
+        # their ceilings, and the eviction counters record the churn.
+        registry = MetricsRegistry()
+        with QueryService(
+            max_workers=2, cache_entries=8, registry=registry
+        ) as service:
+            handles = [
+                service.submit(SPEC_A.with_(seed=n, cost_sla=500_000))
+                for n in range(4)
+            ]
+            outcomes = [handle.result(timeout=300) for handle in handles]
+        assert all(len(outcome.topk) == 3 for outcome in outcomes)
+        assert service.cache.entries <= 8
+        assert registry.counter_total("service_cache_evictions_total") > 0
+
+    def test_gauges_track_the_lru(self):
+        registry = MetricsRegistry()
+        cache = shared(registry, max_entries=2)
+        self._fill(cache, "a", 5)
+        assert cache.entries == 2
+        assert cache.bytes == sum(cache._lru.values())
+        assert registry.gauge("service_cache_entries").value == 2
+        assert registry.gauge("service_cache_bytes").value == cache.bytes
